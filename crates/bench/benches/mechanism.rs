@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the release path: the paper's claim that noisy
+//! model generation is "real time" because the optimal model is trained
+//! once and each sale only adds noise. We measure the per-sale perturbation
+//! cost across dimensions and mechanisms, and the audit cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbp_core::arbitrage::{audit, combine_inverse_variance};
+use mbp_core::mechanism::{
+    GaussianMechanism, LaplaceMechanism, NoiseMechanism, UniformAdditiveMechanism,
+};
+use mbp_core::pricing::PricingFunction;
+use mbp_linalg::Vector;
+use mbp_randx::seeded_rng;
+use std::hint::black_box;
+
+fn model(d: usize) -> Vector {
+    (0..d).map(|i| (i as f64 * 0.37).sin() * 3.0).collect()
+}
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism/perturb");
+    for d in [16usize, 64, 256, 1024] {
+        let h = model(d);
+        let mut rng = seeded_rng(1);
+        group.bench_with_input(BenchmarkId::new("gaussian", d), &h, |b, h| {
+            b.iter(|| GaussianMechanism.perturb(black_box(h), 1.0, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mechanism_variants(c: &mut Criterion) {
+    let h = model(128);
+    let mut group = c.benchmark_group("mechanism/variants_d128");
+    let mechs: Vec<(&str, Box<dyn NoiseMechanism>)> = vec![
+        ("gaussian", Box::new(GaussianMechanism)),
+        ("laplace", Box::new(LaplaceMechanism)),
+        ("uniform", Box::new(UniformAdditiveMechanism)),
+    ];
+    for (name, mech) in mechs {
+        let mut rng = seeded_rng(2);
+        group.bench_function(name, |b| {
+            b.iter(|| mech.perturb(black_box(&h), 1.0, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism/combine_attack");
+    for k in [2usize, 8, 32] {
+        let models: Vec<Vector> = (0..k).map(|_| model(128)).collect();
+        let ncps = vec![2.0; k];
+        group.bench_with_input(BenchmarkId::from_parameter(k), &models, |b, models| {
+            b.iter(|| combine_inverse_variance(black_box(models), &ncps))
+        });
+    }
+    group.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism/audit");
+    for n in [10usize, 50, 100] {
+        let grid: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+        let prices: Vec<f64> = grid.iter().map(|x| 10.0 * x.sqrt()).collect();
+        let pf = PricingFunction::from_points(grid.clone(), prices).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pf, |b, pf| {
+            b.iter(|| audit(black_box(pf), &grid, 4, 1e-7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_perturb,
+    bench_mechanism_variants,
+    bench_combine,
+    bench_audit
+);
+criterion_main!(benches);

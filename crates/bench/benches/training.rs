@@ -1,0 +1,132 @@
+//! Criterion benchmarks for the broker's one-time training cost: the
+//! closed-form / Newton / gradient-descent trainers across dataset sizes.
+//! Together with `mechanism.rs` this quantifies the paper's train-once,
+//! perturb-per-sale economics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbp_data::synth;
+use mbp_ml::sgd::{sgd, SgdConfig};
+use mbp_ml::train::{gradient_descent, newton_logistic, ridge_closed_form, TrainConfig};
+use mbp_ml::{LogisticLoss, SmoothedHingeLoss, SquaredLoss};
+use mbp_randx::seeded_rng;
+use std::hint::black_box;
+
+fn bench_ridge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training/ridge_closed_form");
+    for (n, d) in [(1000usize, 10usize), (5000, 20), (20000, 50)] {
+        let mut rng = seeded_rng(11);
+        let ds = synth::simulated1(n, d, 0.5, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{d}")),
+            &ds,
+            |b, ds| b.iter(|| ridge_closed_form(black_box(ds), 1e-4).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_logistic_newton(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training/logistic_newton");
+    group.sample_size(20);
+    for (n, d) in [(1000usize, 10usize), (5000, 20)] {
+        let mut rng = seeded_rng(12);
+        let ds = synth::simulated2(n, d, 0.92, &mut rng);
+        let loss = LogisticLoss::ridge(1e-3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{d}")),
+            &ds,
+            |b, ds| b.iter(|| newton_logistic(&loss, black_box(ds), TrainConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_svm_gd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training/svm_gradient_descent");
+    group.sample_size(10);
+    let mut rng = seeded_rng(13);
+    let ds = synth::simulated2(2000, 10, 0.95, &mut rng);
+    let loss = SmoothedHingeLoss::new(1e-2, 0.5);
+    let cfg = TrainConfig {
+        max_iters: 200,
+        tol: 1e-6,
+    };
+    group.bench_function("n2000_d10", |b| {
+        b.iter(|| gradient_descent(&loss, black_box(&ds), cfg))
+    });
+    group.finish();
+}
+
+fn bench_sgd_vs_closed_form(c: &mut Criterion) {
+    // Ablation: one SGD epoch budget vs the exact Cholesky solve at a size
+    // where both are feasible.
+    let mut rng = seeded_rng(14);
+    let ds = synth::simulated1(10_000, 20, 0.5, &mut rng);
+    let mut group = c.benchmark_group("training/sgd_vs_closed_n10k_d20");
+    group.sample_size(10);
+    group.bench_function("closed_form", |b| {
+        b.iter(|| ridge_closed_form(black_box(&ds), 1e-4).unwrap())
+    });
+    group.bench_function("sgd_5_epochs", |b| {
+        b.iter(|| {
+            sgd(
+                &SquaredLoss::ridge(1e-4),
+                black_box(&ds),
+                SgdConfig {
+                    epochs: 5,
+                    batch_size: 128,
+                    step: 0.1,
+                    decay: 0.9,
+                    seed: 3,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_sparse_sgd(c: &mut Criterion) {
+    // The Example 3 workload: sparse rows make one epoch O(sum nnz)
+    // instead of O(n*d); compare against training on the densified copy.
+    use mbp_data::sparse::sparse_text_standin;
+    use mbp_ml::sparse::{sgd_logistic_sparse, SparseSgdConfig};
+    let mut rng = seeded_rng(15);
+    let sp = sparse_text_standin(4000, 2000, 12, 0.03, &mut rng);
+    let dense = sp.to_dense();
+    let mut group = c.benchmark_group("training/sparse_vs_dense_n4k_d2000");
+    group.sample_size(10);
+    group.bench_function("sparse_sgd_5_epochs", |b| {
+        b.iter(|| {
+            sgd_logistic_sparse(
+                black_box(&sp),
+                SparseSgdConfig {
+                    epochs: 5,
+                    ..SparseSgdConfig::default()
+                },
+            )
+        })
+    });
+    group.bench_function("dense_sgd_5_epochs", |b| {
+        b.iter(|| {
+            sgd(
+                &LogisticLoss::ridge(1e-4),
+                black_box(&dense),
+                SgdConfig {
+                    epochs: 5,
+                    ..SgdConfig::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ridge,
+    bench_logistic_newton,
+    bench_svm_gd,
+    bench_sgd_vs_closed_form,
+    bench_sparse_sgd
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Extension experiment: dynamic (adaptive) pricing with mis-estimated
+//! market research. See `mbp_core::market::epochs`.
+
+use mbp_bench::experiments::adaptive_experiment;
+use mbp_bench::report::{fmt, print_table};
+use mbp_bench::Config;
+
+fn main() {
+    let cfg = Config::from_env();
+    let (rows, oracle) = adaptive_experiment(&cfg);
+    print_table(
+        &format!(
+            "Adaptive pricing from a 3x-wrong value estimate (oracle revenue/buyer = {})",
+            fmt(oracle)
+        ),
+        &["epoch", "revenue/buyer", "acceptance", "estimate_rmse"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.epoch.to_string(),
+                    fmt(r.revenue_per_buyer),
+                    fmt(r.acceptance_rate),
+                    fmt(r.estimate_rmse),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,19 @@
+//! Extension ablation: the revenue–fairness Pareto frontier traced by the
+//! λ-weighted DP (the paper's Section 7 future-work direction).
+
+use mbp_bench::experiments::fairness_sweep;
+use mbp_bench::report::{fmt, print_table};
+use mbp_bench::Config;
+
+fn main() {
+    let cfg = Config::from_env();
+    let rows = fairness_sweep(&cfg);
+    print_table(
+        "Revenue vs affordability as the fairness weight grows",
+        &["lambda", "revenue", "affordability"],
+        &rows
+            .iter()
+            .map(|r| vec![fmt(r.lambda), fmt(r.revenue), fmt(r.affordability)])
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 10: runtime/revenue/affordability vs number of price
+//! points (MBP vs MILP vs baselines), varying the demand curve.
+
+use mbp_bench::experiments::fig10;
+use mbp_bench::report::{fmt, fmt_secs, print_table};
+use mbp_bench::Config;
+
+fn main() {
+    let cfg = Config::from_env();
+    for scenario in fig10(&cfg) {
+        print_table(
+            &scenario.label,
+            &["n", "method", "runtime", "revenue", "affordability"],
+            &scenario
+                .rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.n.to_string(),
+                        r.method.to_string(),
+                        fmt_secs(r.runtime_s),
+                        fmt(r.revenue),
+                        fmt(r.affordability),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+}

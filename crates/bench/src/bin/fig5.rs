@@ -1,0 +1,32 @@
+//! Regenerates Figure 5: the worked 4-point revenue-optimization example.
+
+use mbp_bench::experiments::fig5;
+use mbp_bench::report::{fmt, print_table};
+
+fn main() {
+    let rows = fig5();
+    print_table(
+        "Figure 5: pricing approaches on a = 1..4, v = (100, 150, 280, 350), b = 0.25",
+        &[
+            "approach",
+            "p(1)",
+            "p(2)",
+            "p(3)",
+            "p(4)",
+            "revenue",
+            "affordability",
+            "arbitrage?",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.approach.to_string()];
+                row.extend(r.prices.iter().map(|&p| fmt(p)));
+                row.push(fmt(r.revenue));
+                row.push(fmt(r.affordability));
+                row.push(if r.has_arbitrage { "YES" } else { "no" }.to_string());
+                row
+            })
+            .collect::<Vec<_>>(),
+    );
+}

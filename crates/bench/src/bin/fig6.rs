@@ -1,0 +1,28 @@
+//! Regenerates Figure 6: error-transformation curves for all six datasets.
+
+use mbp_bench::experiments::fig6;
+use mbp_bench::report::{fmt, print_table};
+use mbp_bench::Config;
+
+fn main() {
+    let cfg = Config::from_env();
+    let points = fig6(&cfg);
+    print_table(
+        &format!(
+            "Figure 6: expected test error vs 1/NCP (reps = {}, scale = {})",
+            cfg.reps, cfg.scale
+        ),
+        &["dataset", "error", "1/NCP", "expected_error"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.dataset.clone(),
+                    p.error_kind.to_string(),
+                    fmt(p.inv_ncp),
+                    fmt(p.expected_error),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

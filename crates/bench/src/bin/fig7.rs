@@ -1,0 +1,60 @@
+//! Regenerates Figure 7: revenue/affordability gains, varying value curves.
+
+use mbp_bench::experiments::fig7;
+use mbp_bench::report::{fmt, print_table};
+use mbp_bench::Config;
+
+fn main() {
+    let cfg = Config::from_env();
+    for scenario in fig7(&cfg) {
+        print_scenario(&scenario);
+    }
+}
+
+pub(crate) fn print_scenario(s: &mbp_bench::experiments::RevenueScenario) {
+    let grid_labels: Vec<String> = s.grid.iter().map(|&x| format!("p({x:.0})")).collect();
+    let mut header: Vec<&str> = vec![
+        "method",
+        "revenue",
+        "affordability",
+        "buyer_surplus",
+        "efficiency",
+    ];
+    let refs: Vec<&str> = grid_labels.iter().map(String::as_str).collect();
+    header.extend(refs);
+    let mbp_rev = s.outcomes[0].revenue;
+    print_table(
+        &format!(
+            "{} — buyers: {}",
+            s.label,
+            s.buyers
+                .iter()
+                .map(|b| format!("(a={:.0},v={:.1},b={:.3})", b.a, b.valuation, b.demand))
+                .collect::<Vec<_>>()
+                .join(" ")
+        ),
+        &header,
+        &s.outcomes
+            .iter()
+            .map(|o| {
+                let mut row = vec![
+                    format!(
+                        "{}{}",
+                        o.method,
+                        if o.method != "MBP" && o.revenue > 0.0 {
+                            format!(" ({:.1}x)", mbp_rev / o.revenue)
+                        } else {
+                            String::new()
+                        }
+                    ),
+                    fmt(o.revenue),
+                    fmt(o.affordability),
+                    fmt(o.buyer_surplus),
+                    fmt(o.efficiency),
+                ];
+                row.extend(o.prices.iter().map(|&p| fmt(p)));
+                row
+            })
+            .collect::<Vec<_>>(),
+    );
+}

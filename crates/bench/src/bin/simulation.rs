@@ -1,0 +1,35 @@
+//! Extension experiment: predicted vs realized revenue over a simulated
+//! buyer stream, under MBP pricing and the best constant-price baseline.
+
+use mbp_bench::experiments::simulation_experiment;
+use mbp_bench::report::{fmt, print_table};
+use mbp_bench::Config;
+
+fn main() {
+    let cfg = Config::from_env();
+    let rows = simulation_experiment(&cfg);
+    print_table(
+        "Simulated selling season (3000 buyers)",
+        &[
+            "pricing",
+            "predicted_rev/buyer",
+            "realized_rev/buyer",
+            "predicted_afford",
+            "realized_afford",
+            "served",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    fmt(r.predicted_revenue),
+                    fmt(r.realized_revenue),
+                    fmt(r.predicted_affordability),
+                    fmt(r.realized_affordability),
+                    r.served.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

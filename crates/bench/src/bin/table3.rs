@@ -1,0 +1,30 @@
+//! Regenerates Table 3: dataset statistics.
+
+use mbp_bench::experiments::table3;
+use mbp_bench::report::print_table;
+use mbp_bench::Config;
+
+fn main() {
+    let cfg = Config::from_env();
+    let rows = table3(&cfg);
+    print_table(
+        &format!("Table 3: dataset statistics (scale = {})", cfg.scale),
+        &[
+            "dataset", "task", "paper_n1", "paper_n2", "our_n1", "our_n2", "d",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.task.to_string(),
+                    r.paper_n1.to_string(),
+                    r.paper_n2.to_string(),
+                    r.our_n1.to_string(),
+                    r.our_n2.to_string(),
+                    r.d.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,34 @@
+//! Ablation: analytic delta-method error transform vs the Monte-Carlo
+//! empirical transform, across noise levels (logistic loss).
+
+use mbp_bench::experiments::transform_ablation;
+use mbp_bench::report::{fmt, print_table};
+use mbp_bench::Config;
+
+fn main() {
+    let cfg = Config::from_env();
+    let rows = transform_ablation(&cfg);
+    print_table(
+        "Error-transform accuracy: delta method vs empirical vs Monte-Carlo truth",
+        &[
+            "ncp/|h*|^2",
+            "monte_carlo",
+            "delta_method",
+            "empirical",
+            "delta_rel_err",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                let rel = (r.delta_method - r.monte_carlo).abs() / r.monte_carlo;
+                vec![
+                    fmt(r.relative_ncp),
+                    fmt(r.monte_carlo),
+                    fmt(r.delta_method),
+                    fmt(r.empirical),
+                    fmt(rel),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,60 @@
+//! Tiny TSV/box report printer shared by the experiment binaries.
+
+/// Prints a titled TSV table: a header row, then one row per record.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("## {title}");
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+    println!();
+}
+
+/// Formats a float with 4 significant-ish decimals, trimming noise.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let a = x.abs();
+    if a >= 1000.0 {
+        format!("{x:.1}")
+    } else if a >= 1.0 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.5}")
+    }
+}
+
+/// Formats a duration in seconds with appropriate precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.5), "1234.5");
+        assert_eq!(fmt(2.71911), "2.719");
+        assert_eq!(fmt(0.001234), "0.00123");
+    }
+
+    #[test]
+    fn fmt_secs_units() {
+        assert!(fmt_secs(2e-9).ends_with("ns"));
+        assert!(fmt_secs(2e-5).ends_with("us"));
+        assert!(fmt_secs(2e-2).ends_with("ms"));
+        assert!(fmt_secs(2.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,641 @@
+//! The `mbp-market` subcommand implementations.
+//!
+//! Each command returns its report as a `String` (printed by `main`), which
+//! keeps the commands unit-testable without capturing stdout.
+
+use crate::args::{ArgError, Args};
+use mbp_core::arbitrage::audit;
+use mbp_core::market::curves::{DemandCurve, DemandShape, ValueCurve, ValueShape};
+use mbp_core::pricing::PricingFunction;
+use mbp_core::revenue::{affordability, revenue, solve_bv_dp_fair, Baseline, BuyerPoint};
+use mbp_data::{catalog, csv, stats, Dataset};
+use mbp_linalg::Vector;
+use mbp_ml::metrics::{evaluate_classification, evaluate_regression, EvalReport};
+use mbp_ml::train::{gradient_descent, newton_logistic, ridge_closed_form, TrainConfig};
+use mbp_ml::{LogisticLoss, ModelKind, SmoothedHingeLoss};
+use mbp_randx::seeded_rng;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problem.
+    Args(ArgError),
+    /// I/O or CSV problem.
+    Data(String),
+    /// Anything the market/trainers raised.
+    Market(String),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Data(e) => write!(f, "{e}"),
+            CliError::Market(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command {c:?}; run with no arguments for usage")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "\
+mbp-market — a model-based pricing marketplace (SIGMOD'19 reproduction)
+
+USAGE: mbp-market <COMMAND> [--flag value ...]
+
+COMMANDS:
+  catalog                         print the Table 3 dataset catalog
+  summarize --csv F               dataset summary statistics
+  train     --csv F --model M     train the optimal model instance
+            [--ridge MU] [--eval-csv F2]
+  price     --csv F               derive arbitrage-free DP pricing
+            [--grid lo,hi,n] [--value SHAPE] [--vmin V] [--vmax V]
+            [--demand SHAPE] [--lambda L] [--out PRICES_TSV]
+  audit     --prices F            audit a pricing curve (TSV: x<TAB>price)
+  sell      --csv F --model M     train, price, and release one noisy
+            --budget P [--grid lo,hi,n] [--seed S] [--out MODEL_TSV]
+                                  instance within budget
+  predict   --model MODEL_TSV     score a CSV with a saved model instance
+            --csv F
+
+MODELS: linreg | logreg | svm
+VALUE SHAPES: linear | convex | concave | sigmoid
+DEMAND SHAPES: uniform | peak | bimodal | increasing | decreasing
+"
+    .to_string()
+}
+
+/// Dispatches a parsed command line.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command() {
+        None => Ok(usage()),
+        Some("catalog") => cmd_catalog(),
+        Some("summarize") => cmd_summarize(args),
+        Some("train") => cmd_train(args),
+        Some("price") => cmd_price(args),
+        Some("audit") => cmd_audit(args),
+        Some("sell") => cmd_sell(args),
+        Some("predict") => cmd_predict(args),
+        Some(other) => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn load_csv(path: &str) -> Result<Dataset, CliError> {
+    csv::read_dataset_path(Path::new(path))
+        .map_err(|e| CliError::Data(format!("reading {path}: {e}")))
+}
+
+fn parse_model(raw: &str) -> Result<ModelKind, CliError> {
+    match raw {
+        "linreg" => Ok(ModelKind::LinearRegression),
+        "logreg" => Ok(ModelKind::LogisticRegression),
+        "svm" => Ok(ModelKind::LinearSvm),
+        other => Err(CliError::Market(format!(
+            "unknown model {other:?} (expected linreg|logreg|svm)"
+        ))),
+    }
+}
+
+fn train_weights(kind: ModelKind, ds: &Dataset, ridge: f64) -> Result<Vector, CliError> {
+    match kind {
+        ModelKind::LinearRegression => {
+            ridge_closed_form(ds, ridge).map_err(|e| CliError::Market(e.to_string()))
+        }
+        ModelKind::LogisticRegression => {
+            Ok(newton_logistic(&LogisticLoss::ridge(ridge), ds, TrainConfig::default()).weights)
+        }
+        ModelKind::LinearSvm => {
+            let mu = if ridge > 0.0 { ridge } else { 1e-3 };
+            Ok(
+                gradient_descent(&SmoothedHingeLoss::new(mu, 0.5), ds, TrainConfig::default())
+                    .weights,
+            )
+        }
+    }
+}
+
+fn cmd_catalog() -> Result<String, CliError> {
+    let mut out = String::from("dataset\ttask\tpaper_n1\tpaper_n2\td\n");
+    for spec in &catalog::TABLE3 {
+        let task = match spec.task {
+            catalog::Task::Regression => "regression",
+            catalog::Task::Classification => "classification",
+        };
+        writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}",
+            spec.name, task, spec.paper_n_train, spec.paper_n_test, spec.d
+        )
+        .expect("string write");
+    }
+    Ok(out)
+}
+
+fn cmd_summarize(args: &Args) -> Result<String, CliError> {
+    let ds = load_csv(args.require("csv")?)?;
+    let s = stats::summarize(&ds);
+    let mut out = String::new();
+    writeln!(out, "rows\t{}", s.n).unwrap();
+    writeln!(out, "features\t{}", s.d).unwrap();
+    writeln!(out, "target_mean\t{:.6}", s.target_mean).unwrap();
+    writeln!(out, "target_sd\t{:.6}", s.target_sd).unwrap();
+    if let Some(p) = s.positive_rate {
+        writeln!(out, "positive_rate\t{p:.4}").unwrap();
+    }
+    for (j, (m, sd)) in s.feature_means.iter().zip(&s.feature_sds).enumerate() {
+        writeln!(out, "feature_{j}\tmean {m:.4}\tsd {sd:.4}").unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_train(args: &Args) -> Result<String, CliError> {
+    let ds = load_csv(args.require("csv")?)?;
+    let kind = parse_model(args.require("model")?)?;
+    let ridge = args.get_f64("ridge", 1e-6)?;
+    let w = train_weights(kind, &ds, ridge)?;
+    let mut out = String::new();
+    writeln!(out, "model\t{}", kind.name()).unwrap();
+    for (j, wj) in w.as_slice().iter().enumerate() {
+        writeln!(out, "w{j}\t{wj:.10}").unwrap();
+    }
+    let eval_ds = match args.get("eval-csv") {
+        Some(p) => load_csv(p)?,
+        None => ds,
+    };
+    match kind {
+        ModelKind::LinearRegression => {
+            if let EvalReport::Regression { mse, rmse, r2 } = evaluate_regression(&w, &eval_ds) {
+                writeln!(out, "mse\t{mse:.6}\nrmse\t{rmse:.6}\nr2\t{r2:.6}").unwrap();
+            }
+        }
+        _ => {
+            if let EvalReport::Classification {
+                accuracy,
+                precision,
+                recall,
+                f1,
+                ..
+            } = evaluate_classification(&w, &eval_ds)
+            {
+                writeln!(
+                    out,
+                    "accuracy\t{accuracy:.4}\nprecision\t{precision:.4}\nrecall\t{recall:.4}\nf1\t{f1:.4}"
+                )
+                .unwrap();
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_value_curve(args: &Args) -> Result<ValueCurve, CliError> {
+    let vmin = args.get_f64("vmin", 2.0)?;
+    let vmax = args.get_f64("vmax", 100.0)?;
+    let shape = match args.get("value").unwrap_or("concave") {
+        "linear" => ValueShape::Linear,
+        "convex" => ValueShape::Convex { power: 2.5 },
+        "concave" => ValueShape::Concave { power: 2.5 },
+        "sigmoid" => ValueShape::Sigmoid { steepness: 8.0 },
+        other => return Err(CliError::Market(format!("unknown value shape {other:?}"))),
+    };
+    Ok(ValueCurve::new(shape, vmin, vmax))
+}
+
+fn parse_demand_curve(args: &Args) -> Result<DemandCurve, CliError> {
+    let shape = match args.get("demand").unwrap_or("uniform") {
+        "uniform" => DemandShape::Uniform,
+        "peak" => DemandShape::Peak {
+            center: 0.5,
+            width: 0.25,
+        },
+        "bimodal" => DemandShape::Bimodal { width: 0.15 },
+        "increasing" => DemandShape::Increasing,
+        "decreasing" => DemandShape::Decreasing,
+        other => return Err(CliError::Market(format!("unknown demand shape {other:?}"))),
+    };
+    Ok(DemandCurve::new(shape))
+}
+
+fn derive_pricing(args: &Args) -> Result<(Vec<f64>, Vec<BuyerPoint>, PricingFunction), CliError> {
+    let grid = args.get_grid("grid", (10.0, 100.0, 10))?;
+    let value = parse_value_curve(args)?;
+    let demand = parse_demand_curve(args)?;
+    let buyers = mbp_core::market::curves::buyer_points(&grid, &value, &demand);
+    let lambda = args.get_f64("lambda", 0.0)?;
+    let sol = solve_bv_dp_fair(&buyers, lambda);
+    Ok((grid, buyers, sol.pricing))
+}
+
+fn cmd_price(args: &Args) -> Result<String, CliError> {
+    // The CSV is loaded to bind the listing to a concrete dataset (and to
+    // fail early on a bad path); pricing itself depends on the curves.
+    let _ds = load_csv(args.require("csv")?)?;
+    let (grid, buyers, pricing) = derive_pricing(args)?;
+    if let Some(out_path) = args.get("out") {
+        // Emit the curve in the TSV dialect `audit --prices` consumes, so
+        // `price --out F` composes with `audit --prices F`.
+        let mut text = String::from("# x price\n");
+        for (x, p) in pricing.grid().iter().zip(pricing.prices()) {
+            text.push_str(&format!("{x} {p}\n"));
+        }
+        std::fs::write(out_path, text)
+            .map_err(|e| CliError::Data(format!("writing {out_path}: {e}")))?;
+    }
+    let mut out = String::from("x\tvaluation\tdemand\tprice\n");
+    for (p, b) in pricing.prices().iter().zip(&buyers) {
+        writeln!(
+            out,
+            "{:.2}\t{:.3}\t{:.4}\t{:.4}",
+            b.a, b.valuation, b.demand, p
+        )
+        .unwrap();
+    }
+    writeln!(out, "revenue\t{:.4}", revenue(&pricing, &buyers)).unwrap();
+    writeln!(
+        out,
+        "affordability\t{:.4}",
+        affordability(&pricing, &buyers)
+    )
+    .unwrap();
+    for baseline in Baseline::ALL {
+        let pf = baseline.pricing(&buyers);
+        writeln!(
+            out,
+            "baseline_{}\trevenue {:.4}\taffordability {:.4}",
+            baseline.name(),
+            revenue(&pf, &buyers),
+            affordability(&pf, &buyers)
+        )
+        .unwrap();
+    }
+    let clean = audit(&pricing, &grid, 10, 1e-6).is_clean();
+    writeln!(out, "arbitrage_free\t{clean}").unwrap();
+    Ok(out)
+}
+
+fn cmd_audit(args: &Args) -> Result<String, CliError> {
+    let path = args.require("prices")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Data(format!("reading {path}: {e}")))?;
+    let mut grid = Vec::new();
+    let mut prices = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(x), Some(p)) = (parts.next(), parts.next()) else {
+            return Err(CliError::Data(format!(
+                "line {}: expected `x price`",
+                i + 1
+            )));
+        };
+        let x: f64 = x
+            .parse()
+            .map_err(|_| CliError::Data(format!("line {}: bad x {x:?}", i + 1)))?;
+        let p: f64 = p
+            .parse()
+            .map_err(|_| CliError::Data(format!("line {}: bad price {p:?}", i + 1)))?;
+        grid.push(x);
+        prices.push(p);
+    }
+    let pf = PricingFunction::from_points(grid.clone(), prices)
+        .map_err(|e| CliError::Data(e.to_string()))?;
+    let report = audit(&pf, &grid, 10, 1e-6);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "monotonicity_violations\t{}",
+        report.monotonicity_violations.len()
+    )
+    .unwrap();
+    for (a, b) in &report.monotonicity_violations {
+        writeln!(out, "  price({a}) > price({b})").unwrap();
+    }
+    writeln!(out, "arbitrage_opportunities\t{}", report.arbitrage.len()).unwrap();
+    for f in &report.arbitrage {
+        writeln!(
+            out,
+            "  target x={} list={:.4} bundle={:?} costs {:.4} (margin {:.4})",
+            f.target_precision,
+            f.list_price,
+            f.bundle,
+            f.bundle_price,
+            f.margin()
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "verdict\t{}",
+        if report.is_clean() {
+            "CLEAN"
+        } else {
+            "ARBITRAGE"
+        }
+    )
+    .unwrap();
+    Ok(out)
+}
+
+fn cmd_sell(args: &Args) -> Result<String, CliError> {
+    use mbp_core::error::SquareLossTransform;
+    use mbp_core::market::{Broker, PurchaseRequest};
+
+    let ds = load_csv(args.require("csv")?)?;
+    let kind = parse_model(args.require("model")?)?;
+    let budget = args.get_f64("budget", f64::NAN)?;
+    if !budget.is_finite() || budget < 0.0 {
+        return Err(CliError::Args(ArgError::Required("budget".into())));
+    }
+    let seed = args.get_u64("seed", 7)?;
+    let mut rng = seeded_rng(seed);
+    let tt = ds.split(0.75, &mut rng);
+    let (_, _, pricing) = derive_pricing(args)?;
+    let mut broker = Broker::new(tt);
+    broker
+        .support(kind, args.get_f64("ridge", 1e-3)?)
+        .map_err(|e| CliError::Market(e.to_string()))?;
+    let sale = broker
+        .buy(
+            kind,
+            PurchaseRequest::PriceBudget(budget),
+            &pricing,
+            &SquareLossTransform,
+            &mut rng,
+        )
+        .map_err(|e| CliError::Market(e.to_string()))?;
+    let mut out = String::new();
+    writeln!(out, "model\t{}", kind.name()).unwrap();
+    writeln!(out, "price\t{:.4}", sale.price).unwrap();
+    writeln!(out, "ncp\t{:.6}", sale.ncp).unwrap();
+    writeln!(out, "expected_error\t{:.6}", sale.expected_error).unwrap();
+    for (j, wj) in sale.model.weights().as_slice().iter().enumerate() {
+        writeln!(out, "w{j}\t{wj:.10}").unwrap();
+    }
+    if let Some(path) = args.get("out") {
+        let mut buf = Vec::new();
+        mbp_ml::persist::write_model(&sale.model, &mut buf)
+            .map_err(|e| CliError::Data(e.to_string()))?;
+        std::fs::write(path, buf).map_err(|e| CliError::Data(format!("writing {path}: {e}")))?;
+        writeln!(out, "saved\t{path}").unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_predict(args: &Args) -> Result<String, CliError> {
+    let model_path = args.require("model")?;
+    let file = std::fs::File::open(model_path)
+        .map_err(|e| CliError::Data(format!("opening {model_path}: {e}")))?;
+    let model = mbp_ml::persist::read_model(file).map_err(|e| CliError::Data(e.to_string()))?;
+    let ds = load_csv(args.require("csv")?)?;
+    if ds.d() != model.dim() {
+        return Err(CliError::Data(format!(
+            "model expects {} features but the CSV has {}",
+            model.dim(),
+            ds.d()
+        )));
+    }
+    let mut out = String::from("row\tprediction\ttarget\n");
+    for i in 0..ds.n() {
+        let (x, y) = ds.example(i);
+        let pred = if model.kind().is_classifier() {
+            model.classify(x)
+        } else {
+            model.predict(x)
+        };
+        writeln!(out, "{i}\t{pred}\t{y}").unwrap();
+    }
+    let report = if model.kind().is_classifier() {
+        evaluate_classification(model.weights(), &ds)
+    } else {
+        evaluate_regression(model.weights(), &ds)
+    };
+    match report {
+        EvalReport::Regression { mse, rmse, r2 } => {
+            writeln!(out, "mse\t{mse:.6}\nrmse\t{rmse:.6}\nr2\t{r2:.6}").unwrap();
+        }
+        EvalReport::Classification { accuracy, f1, .. } => {
+            writeln!(out, "accuracy\t{accuracy:.4}\nf1\t{f1:.4}").unwrap();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn temp_csv(name: &str, rows: usize, classify: bool) -> std::path::PathBuf {
+        let mut rng = seeded_rng(9);
+        let ds = if classify {
+            mbp_data::synth::simulated2(rows, 3, 0.95, &mut rng)
+        } else {
+            mbp_data::synth::simulated1(rows, 3, 0.2, &mut rng)
+        };
+        let dir = std::env::temp_dir().join("mbp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut buf = Vec::new();
+        csv::write_dataset(&ds, &mut buf).unwrap();
+        std::fs::write(&path, buf).unwrap();
+        path
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let out = run(&Args::parse(Vec::<String>::new()).unwrap()).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let err = run(&argv("frobnicate")).unwrap_err();
+        assert!(matches!(err, CliError::UnknownCommand(_)));
+    }
+
+    #[test]
+    fn catalog_lists_table3() {
+        let out = run(&argv("catalog")).unwrap();
+        assert!(out.contains("YearMSD"));
+        assert!(out.contains("SUSY"));
+        assert_eq!(out.lines().count(), 7); // header + 6 rows
+    }
+
+    #[test]
+    fn summarize_reports_stats() {
+        let path = temp_csv("sum.csv", 200, true);
+        let out = run(&argv(&format!("summarize --csv {}", path.display()))).unwrap();
+        assert!(out.contains("rows\t200"));
+        assert!(out.contains("positive_rate"));
+    }
+
+    #[test]
+    fn train_linreg_reports_fit() {
+        let path = temp_csv("train.csv", 300, false);
+        let out = run(&argv(&format!(
+            "train --csv {} --model linreg",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("Lin. reg."));
+        assert!(out.contains("r2"));
+        // Noiseless-ish signal: R² should be high.
+        let r2: f64 = out
+            .lines()
+            .find(|l| l.starts_with("r2"))
+            .and_then(|l| l.split('\t').nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(r2 > 0.9, "r2 {r2}");
+    }
+
+    #[test]
+    fn train_logreg_reports_accuracy() {
+        let path = temp_csv("clf.csv", 400, true);
+        let out = run(&argv(&format!(
+            "train --csv {} --model logreg --ridge 0.001",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("accuracy"));
+        assert!(out.contains("f1"));
+    }
+
+    #[test]
+    fn price_outputs_curve_and_dominates_baselines() {
+        let path = temp_csv("price.csv", 100, false);
+        let out = run(&argv(&format!(
+            "price --csv {} --grid 20,100,9 --value convex --demand peak",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("arbitrage_free\ttrue"));
+        let rev: f64 = out
+            .lines()
+            .find(|l| l.starts_with("revenue"))
+            .and_then(|l| l.split('\t').nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(rev > 0.0);
+    }
+
+    #[test]
+    fn audit_flags_convex_prices() {
+        let dir = std::env::temp_dir().join("mbp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prices.tsv");
+        let mut text = String::from("# x price\n");
+        for i in 1..=8 {
+            text.push_str(&format!("{i} {}\n", i * i));
+        }
+        std::fs::write(&path, text).unwrap();
+        let out = run(&argv(&format!("audit --prices {}", path.display()))).unwrap();
+        assert!(out.contains("verdict\tARBITRAGE"), "{out}");
+    }
+
+    #[test]
+    fn sell_then_predict_roundtrip() {
+        let csv = temp_csv("sellout.csv", 300, false);
+        let dir = std::env::temp_dir().join("mbp-cli-tests");
+        let model_path = dir.join("bought.model.tsv");
+        let out = run(&argv(&format!(
+            "sell --csv {} --model linreg --budget 90 --grid 10,100,10 --out {}",
+            csv.display(),
+            model_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("saved"));
+        let pred_out = run(&argv(&format!(
+            "predict --model {} --csv {}",
+            model_path.display(),
+            csv.display()
+        )))
+        .unwrap();
+        assert!(pred_out.contains("r2"), "{pred_out}");
+        // The noisy instance still explains most of the variance.
+        let r2: f64 = pred_out
+            .lines()
+            .find(|l| l.starts_with("r2"))
+            .and_then(|l| l.split('\t').nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(r2 > 0.0, "r2 {r2}");
+    }
+
+    #[test]
+    fn predict_rejects_dimension_mismatch() {
+        let csv3 = temp_csv("dim3.csv", 50, false); // 3 features
+        let dir = std::env::temp_dir().join("mbp-cli-tests");
+        let model_path = dir.join("dim2.model.tsv");
+        let model =
+            mbp_ml::LinearModel::new(ModelKind::LinearRegression, mbp_linalg::Vector::zeros(2));
+        let mut buf = Vec::new();
+        mbp_ml::persist::write_model(&model, &mut buf).unwrap();
+        std::fs::write(&model_path, buf).unwrap();
+        let err = run(&argv(&format!(
+            "predict --model {} --csv {}",
+            model_path.display(),
+            csv3.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("features"));
+    }
+
+    #[test]
+    fn price_out_composes_with_audit() {
+        let csv = temp_csv("compose.csv", 80, false);
+        let dir = std::env::temp_dir().join("mbp-cli-tests");
+        let out = dir.join("dp_prices.tsv");
+        run(&argv(&format!(
+            "price --csv {} --grid 20,100,9 --value concave --out {}",
+            csv.display(),
+            out.display()
+        )))
+        .unwrap();
+        let audit_out = run(&argv(&format!("audit --prices {}", out.display()))).unwrap();
+        assert!(audit_out.contains("verdict\tCLEAN"), "{audit_out}");
+    }
+
+    #[test]
+    fn sell_within_budget() {
+        let path = temp_csv("sell.csv", 300, false);
+        let out = run(&argv(&format!(
+            "sell --csv {} --model linreg --budget 30 --grid 10,100,10",
+            path.display()
+        )))
+        .unwrap();
+        let price: f64 = out
+            .lines()
+            .find(|l| l.starts_with("price"))
+            .and_then(|l| l.split('\t').nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(price <= 30.0 + 1e-9);
+        assert!(out.contains("w0"));
+    }
+}

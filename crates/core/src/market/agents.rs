@@ -1,0 +1,701 @@
+//! The seller, broker, and buyer agents and the purchase protocol.
+
+use crate::error::ErrorTransform;
+use crate::market::curves::{buyer_points, DemandCurve, ValueCurve};
+use crate::mechanism::{GaussianMechanism, NoiseMechanism};
+use crate::pricing::PricingFunction;
+use crate::revenue::{solve_bv_dp, BuyerPoint, RevenueSolution};
+use mbp_data::TrainTest;
+use mbp_ml::train::{gradient_descent, newton_logistic, ridge_closed_form, TrainConfig};
+use mbp_ml::{LinearModel, LogisticLoss, ModelKind, SmoothedHingeLoss};
+use mbp_randx::MbpRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised by market interactions.
+#[derive(Debug)]
+pub enum MarketError {
+    /// The requested model type is not on the broker's menu.
+    UnsupportedModel(ModelKind),
+    /// Training the optimal instance failed (e.g. singular Gram matrix).
+    TrainingFailed(mbp_linalg::LinalgError),
+    /// The requested expected error is unachievable (below the noiseless
+    /// floor or outside the transform's range).
+    UnachievableError(f64),
+    /// The buyer's budget does not afford any positive-precision instance.
+    InsufficientBudget(f64),
+    /// Malformed request (e.g. non-positive NCP).
+    BadRequest(String),
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::UnsupportedModel(kind) => {
+                write!(f, "model {:?} is not on the broker's menu", kind)
+            }
+            MarketError::TrainingFailed(e) => write!(f, "training the optimal model failed: {e}"),
+            MarketError::UnachievableError(e) => {
+                write!(
+                    f,
+                    "expected error {e} is unachievable for this model/dataset"
+                )
+            }
+            MarketError::InsufficientBudget(b) => {
+                write!(f, "budget {b} cannot afford any model instance")
+            }
+            MarketError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+impl From<mbp_linalg::LinalgError> for MarketError {
+    fn from(e: mbp_linalg::LinalgError) -> Self {
+        MarketError::TrainingFailed(e)
+    }
+}
+
+/// The seller: owns the dataset for sale and the market-research curves
+/// (Figure 1(A), Figure 2(a)).
+#[derive(Debug)]
+pub struct Seller {
+    /// The dataset `D = (D_train, D_test)` offered for sale.
+    pub data: TrainTest,
+    /// Inverse-NCP grid over which the market operates.
+    pub grid: Vec<f64>,
+    /// Market-research value curve.
+    pub value_curve: ValueCurve,
+    /// Market-research demand curve.
+    pub demand_curve: DemandCurve,
+}
+
+impl Seller {
+    /// Creates a seller listing.
+    pub fn new(
+        data: TrainTest,
+        grid: Vec<f64>,
+        value_curve: ValueCurve,
+        demand_curve: DemandCurve,
+    ) -> Self {
+        Seller {
+            data,
+            grid,
+            value_curve,
+            demand_curve,
+        }
+    }
+
+    /// The buyer population implied by the research curves.
+    pub fn buyer_population(&self) -> Vec<BuyerPoint> {
+        buyer_points(&self.grid, &self.value_curve, &self.demand_curve)
+    }
+}
+
+/// A buyer with a budget (used by the examples; the protocol itself is
+/// stateless and lives in [`Broker::buy`]).
+#[derive(Debug, Clone)]
+pub struct Buyer {
+    /// Display name.
+    pub name: String,
+    /// Price budget.
+    pub budget: f64,
+}
+
+impl Buyer {
+    /// Creates a buyer.
+    pub fn new(name: impl Into<String>, budget: f64) -> Self {
+        assert!(budget >= 0.0 && budget.is_finite(), "budget must be >= 0");
+        Buyer {
+            name: name.into(),
+            budget,
+        }
+    }
+}
+
+/// The buyer's three purchase options (Section 3.2, broker–buyer step 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PurchaseRequest {
+    /// Pick a specific point on the price–error curve by its NCP.
+    AtNcp(f64),
+    /// "Cheapest instance with expected error ≤ ε̂."
+    ErrorBudget(f64),
+    /// "Most accurate instance with price ≤ p̂."
+    PriceBudget(f64),
+}
+
+/// One fulfilled purchase.
+#[derive(Debug, Clone)]
+pub struct Sale {
+    /// The released noisy model instance.
+    pub model: LinearModel,
+    /// Price charged.
+    pub price: f64,
+    /// NCP of the released instance.
+    pub ncp: f64,
+    /// Expected buyer-facing error at that NCP.
+    pub expected_error: f64,
+}
+
+/// Ledger entry kept by the broker for revenue accounting.
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    /// Model type sold.
+    pub kind: ModelKind,
+    /// NCP of the sold instance.
+    pub ncp: f64,
+    /// Price paid.
+    pub price: f64,
+}
+
+/// A `(δ, expected error, price)` sample of the buyer-facing curve the
+/// broker displays (Figure 1(C), step 2).
+#[derive(Debug, Clone, Copy)]
+pub struct PriceErrorPoint {
+    /// Noise control parameter.
+    pub ncp: f64,
+    /// Expected error at this NCP.
+    pub expected_error: f64,
+    /// Price at this NCP.
+    pub price: f64,
+}
+
+/// The buyer-facing price–error curve.
+#[derive(Debug, Clone)]
+pub struct PriceErrorCurve {
+    /// Samples in ascending-NCP order.
+    pub points: Vec<PriceErrorPoint>,
+}
+
+impl PriceErrorCurve {
+    /// `true` when price is non-increasing and error non-decreasing along
+    /// the curve — the shape the buyer should always see in a well-behaved
+    /// market.
+    pub fn is_well_formed(&self) -> bool {
+        self.points.windows(2).all(|w| {
+            w[0].ncp <= w[1].ncp
+                && w[0].price >= w[1].price - 1e-9
+                && w[0].expected_error <= w[1].expected_error + 1e-9
+        })
+    }
+}
+
+struct MenuEntry {
+    model: LinearModel,
+}
+
+/// A published offer: the pricing function and error transform under which
+/// a model type is currently for sale.
+struct Listing {
+    pricing: PricingFunction,
+    transform: Box<dyn ErrorTransform + Send + Sync>,
+}
+
+/// The broker: trains optimal instances (one-time cost), derives pricing,
+/// and fulfills purchases by injecting fresh noise per sale.
+pub struct Broker {
+    data: TrainTest,
+    mechanism: Box<dyn NoiseMechanism>,
+    menu: HashMap<ModelKind, MenuEntry>,
+    listings: HashMap<ModelKind, Listing>,
+    ledger: Vec<Transaction>,
+}
+
+impl fmt::Debug for Broker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Broker")
+            .field("mechanism", &self.mechanism.name())
+            .field("menu_size", &self.menu.len())
+            .field("ledger_len", &self.ledger.len())
+            .finish()
+    }
+}
+
+impl Broker {
+    /// Creates a broker for `data` using the paper's Gaussian mechanism.
+    pub fn new(data: TrainTest) -> Self {
+        Broker::with_mechanism(data, Box::new(GaussianMechanism))
+    }
+
+    /// Creates a broker with a custom (unbiased, calibrated) mechanism.
+    pub fn with_mechanism(data: TrainTest, mechanism: Box<dyn NoiseMechanism>) -> Self {
+        Broker {
+            data,
+            mechanism,
+            menu: HashMap::new(),
+            listings: HashMap::new(),
+            ledger: Vec::new(),
+        }
+    }
+
+    /// Publishes a standing offer for `kind`: later purchases can go
+    /// through [`Broker::buy_listed`] without re-supplying the pricing and
+    /// transform on every call. The model must already be on the menu.
+    pub fn publish(
+        &mut self,
+        kind: ModelKind,
+        pricing: PricingFunction,
+        transform: Box<dyn ErrorTransform + Send + Sync>,
+    ) -> Result<(), MarketError> {
+        if !self.menu.contains_key(&kind) {
+            return Err(MarketError::UnsupportedModel(kind));
+        }
+        self.listings.insert(kind, Listing { pricing, transform });
+        Ok(())
+    }
+
+    /// Fulfills a purchase against the *published* listing for `kind`.
+    pub fn buy_listed(
+        &mut self,
+        kind: ModelKind,
+        request: PurchaseRequest,
+        rng: &mut MbpRng,
+    ) -> Result<Sale, MarketError> {
+        let listing = self
+            .listings
+            .get(&kind)
+            .ok_or(MarketError::UnsupportedModel(kind))?;
+        let entry = self
+            .menu
+            .get(&kind)
+            .ok_or(MarketError::UnsupportedModel(kind))?;
+        let (sale, tx) = execute_purchase(
+            entry,
+            self.mechanism.as_ref(),
+            &listing.pricing,
+            listing.transform.as_ref(),
+            kind,
+            request,
+            rng,
+        )?;
+        self.ledger.push(tx);
+        Ok(sale)
+    }
+
+    /// The published pricing for `kind`, if any.
+    pub fn listed_pricing(&self, kind: ModelKind) -> Option<&PricingFunction> {
+        self.listings.get(&kind).map(|l| &l.pricing)
+    }
+
+    /// The dataset backing the market.
+    pub fn data(&self) -> &TrainTest {
+        &self.data
+    }
+
+    /// Adds `kind` to the menu, training the optimal instance `h*_λ(D)` on
+    /// the train split (the broker's one-time cost). Idempotent.
+    pub fn support(&mut self, kind: ModelKind, ridge: f64) -> Result<&LinearModel, MarketError> {
+        if !self.menu.contains_key(&kind) {
+            let weights = match kind {
+                ModelKind::LinearRegression => ridge_closed_form(&self.data.train, ridge)?,
+                ModelKind::LogisticRegression => {
+                    newton_logistic(
+                        &LogisticLoss::ridge(ridge),
+                        &self.data.train,
+                        TrainConfig::default(),
+                    )
+                    .weights
+                }
+                ModelKind::LinearSvm => {
+                    let mu = if ridge > 0.0 { ridge } else { 1e-3 };
+                    gradient_descent(
+                        &SmoothedHingeLoss::new(mu, 0.5),
+                        &self.data.train,
+                        TrainConfig::default(),
+                    )
+                    .weights
+                }
+            };
+            self.menu.insert(
+                kind,
+                MenuEntry {
+                    model: LinearModel::new(kind, weights),
+                },
+            );
+        }
+        Ok(&self.menu[&kind].model)
+    }
+
+    /// The cached optimal instance for `kind`, if supported.
+    pub fn optimal_model(&self, kind: ModelKind) -> Option<&LinearModel> {
+        self.menu.get(&kind).map(|e| &e.model)
+    }
+
+    /// Derives the revenue-maximizing arbitrage-free pricing from a
+    /// seller's market research (Figure 2(b)→(c): the Theorem 10 DP on the
+    /// buyer population).
+    pub fn price_from_research(&self, seller: &Seller) -> RevenueSolution {
+        solve_bv_dp(&seller.buyer_population())
+    }
+
+    /// Builds the buyer-facing price–error curve for `kind` over `ncps`
+    /// (step 2 of the broker–buyer interaction).
+    pub fn price_error_curve(
+        &self,
+        kind: ModelKind,
+        transform: &dyn ErrorTransform,
+        pricing: &PricingFunction,
+        ncps: &[f64],
+    ) -> Result<PriceErrorCurve, MarketError> {
+        if !self.menu.contains_key(&kind) {
+            return Err(MarketError::UnsupportedModel(kind));
+        }
+        let mut points: Vec<PriceErrorPoint> = ncps
+            .iter()
+            .map(|&ncp| PriceErrorPoint {
+                ncp,
+                expected_error: transform.expected_error(ncp),
+                price: pricing.price_for_ncp(ncp),
+            })
+            .collect();
+        points.sort_by(|a, b| a.ncp.partial_cmp(&b.ncp).expect("finite NCPs"));
+        Ok(PriceErrorCurve { points })
+    }
+
+    /// Fulfills a purchase (steps 3–4): resolves the request to an NCP,
+    /// charges `p̄(1/δ)`, and returns a freshly-noised instance.
+    pub fn buy(
+        &mut self,
+        kind: ModelKind,
+        request: PurchaseRequest,
+        pricing: &PricingFunction,
+        transform: &dyn ErrorTransform,
+        rng: &mut MbpRng,
+    ) -> Result<Sale, MarketError> {
+        let entry = self
+            .menu
+            .get(&kind)
+            .ok_or(MarketError::UnsupportedModel(kind))?;
+        let (sale, tx) = execute_purchase(
+            entry,
+            self.mechanism.as_ref(),
+            pricing,
+            transform,
+            kind,
+            request,
+            rng,
+        )?;
+        self.ledger.push(tx);
+        Ok(sale)
+    }
+
+    /// All completed transactions.
+    pub fn ledger(&self) -> &[Transaction] {
+        &self.ledger
+    }
+
+    /// Total revenue collected so far.
+    pub fn total_revenue(&self) -> f64 {
+        self.ledger.iter().map(|t| t.price).sum()
+    }
+}
+
+/// Shared purchase path: resolves the request to an NCP, prices it, and
+/// releases a freshly noised instance.
+fn execute_purchase(
+    entry: &MenuEntry,
+    mechanism: &dyn NoiseMechanism,
+    pricing: &PricingFunction,
+    transform: &dyn ErrorTransform,
+    kind: ModelKind,
+    request: PurchaseRequest,
+    rng: &mut MbpRng,
+) -> Result<(Sale, Transaction), MarketError> {
+    let ncp = match request {
+        PurchaseRequest::AtNcp(d) => {
+            if !(d > 0.0 && d.is_finite()) {
+                return Err(MarketError::BadRequest(format!(
+                    "NCP must be positive and finite, got {d}"
+                )));
+            }
+            d
+        }
+        PurchaseRequest::ErrorBudget(eps) => transform
+            .ncp_for_error(eps)
+            .filter(|&d| d > 0.0)
+            .ok_or(MarketError::UnachievableError(eps))?,
+        PurchaseRequest::PriceBudget(budget) => {
+            if !(budget >= 0.0 && budget.is_finite()) {
+                return Err(MarketError::BadRequest(format!(
+                    "budget must be non-negative, got {budget}"
+                )));
+            }
+            let x = pricing
+                .max_precision_for_budget(budget)
+                .ok_or(MarketError::InsufficientBudget(budget))?;
+            // Budgets at/above the saturation price buy the most precise
+            // version on the menu grid (never the noiseless model: the
+            // grid caps precision).
+            let x_max = *pricing.grid().last().expect("pricing grid is non-empty");
+            let x = x.min(x_max);
+            if x <= 0.0 {
+                return Err(MarketError::InsufficientBudget(budget));
+            }
+            1.0 / x
+        }
+    };
+    let price = pricing.price_for_ncp(ncp);
+    let weights = mechanism.perturb(entry.model.weights(), ncp, rng);
+    let model = entry.model.with_weights(weights);
+    Ok((
+        Sale {
+            model,
+            price,
+            ncp,
+            expected_error: transform.expected_error(ncp),
+        },
+        Transaction { kind, ncp, price },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{LinRegSquareTransform, SquareLossTransform};
+    use crate::market::curves::{grid, DemandShape, ValueShape};
+    use mbp_data::synth;
+    use mbp_randx::seeded_rng;
+
+    fn market_data(seed: u64) -> TrainTest {
+        let mut rng = seeded_rng(seed);
+        let ds = synth::simulated1(600, 5, 0.5, &mut rng);
+        ds.split(0.75, &mut rng)
+    }
+
+    fn simple_pricing() -> PricingFunction {
+        let g: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let p: Vec<f64> = g.iter().map(|x| 10.0 * x.sqrt()).collect();
+        PricingFunction::from_points(g, p).unwrap()
+    }
+
+    #[test]
+    fn support_is_idempotent_one_time_cost() {
+        let mut broker = Broker::new(market_data(1));
+        let w1 = broker
+            .support(ModelKind::LinearRegression, 0.0)
+            .unwrap()
+            .weights()
+            .clone();
+        let w2 = broker
+            .support(ModelKind::LinearRegression, 0.0)
+            .unwrap()
+            .weights()
+            .clone();
+        assert_eq!(w1, w2);
+        assert!(broker.optimal_model(ModelKind::LinearRegression).is_some());
+        assert!(broker.optimal_model(ModelKind::LinearSvm).is_none());
+    }
+
+    #[test]
+    fn buy_at_ncp_charges_curve_price() {
+        let mut broker = Broker::new(market_data(2));
+        broker.support(ModelKind::LinearRegression, 0.0).unwrap();
+        let pricing = simple_pricing();
+        let mut rng = seeded_rng(7);
+        let sale = broker
+            .buy(
+                ModelKind::LinearRegression,
+                PurchaseRequest::AtNcp(0.5),
+                &pricing,
+                &SquareLossTransform,
+                &mut rng,
+            )
+            .unwrap();
+        assert!((sale.price - pricing.price_for_ncp(0.5)).abs() < 1e-12);
+        assert_eq!(sale.ncp, 0.5);
+        assert_eq!(broker.ledger().len(), 1);
+        assert!((broker.total_revenue() - sale.price).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_budget_buys_cheapest_adequate_model() {
+        let mut broker = Broker::new(market_data(3));
+        broker.support(ModelKind::LinearRegression, 0.0).unwrap();
+        let pricing = simple_pricing();
+        let mut rng = seeded_rng(8);
+        // With the identity transform, error budget 2.0 ⇒ δ = 2.0.
+        let sale = broker
+            .buy(
+                ModelKind::LinearRegression,
+                PurchaseRequest::ErrorBudget(2.0),
+                &pricing,
+                &SquareLossTransform,
+                &mut rng,
+            )
+            .unwrap();
+        assert!((sale.ncp - 2.0).abs() < 1e-12);
+        assert!(sale.expected_error <= 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn price_budget_buys_most_accurate_affordable() {
+        let mut broker = Broker::new(market_data(4));
+        broker.support(ModelKind::LinearRegression, 0.0).unwrap();
+        let pricing = simple_pricing();
+        let mut rng = seeded_rng(9);
+        let budget = 20.0; // p̄(x) = 10√x = 20 ⇒ x = 4 ⇒ δ = 0.25
+        let sale = broker
+            .buy(
+                ModelKind::LinearRegression,
+                PurchaseRequest::PriceBudget(budget),
+                &pricing,
+                &SquareLossTransform,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(sale.price <= budget + 1e-9);
+        assert!((sale.ncp - 0.25).abs() < 1e-9, "ncp {}", sale.ncp);
+        // A huge budget buys the top-of-grid precision (x = 10).
+        let sale = broker
+            .buy(
+                ModelKind::LinearRegression,
+                PurchaseRequest::PriceBudget(1e6),
+                &pricing,
+                &SquareLossTransform,
+                &mut rng,
+            )
+            .unwrap();
+        assert!((sale.ncp - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsupported_model_is_rejected() {
+        let mut broker = Broker::new(market_data(5));
+        let mut rng = seeded_rng(10);
+        let err = broker
+            .buy(
+                ModelKind::LinearSvm,
+                PurchaseRequest::AtNcp(1.0),
+                &simple_pricing(),
+                &SquareLossTransform,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MarketError::UnsupportedModel(_)));
+    }
+
+    #[test]
+    fn unachievable_error_budget_is_rejected() {
+        let data = market_data(6);
+        let mut broker = Broker::new(data);
+        let h = broker
+            .support(ModelKind::LinearRegression, 0.0)
+            .unwrap()
+            .weights()
+            .clone();
+        let transform = LinRegSquareTransform::new(&broker.data().test.clone(), &h);
+        let mut rng = seeded_rng(11);
+        // Ask for error below the noiseless floor.
+        let err = broker
+            .buy(
+                ModelKind::LinearRegression,
+                PurchaseRequest::ErrorBudget(transform.base() * 0.5),
+                &simple_pricing(),
+                &transform,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MarketError::UnachievableError(_)));
+    }
+
+    #[test]
+    fn price_error_curve_is_well_formed() {
+        let mut broker = Broker::new(market_data(12));
+        broker.support(ModelKind::LinearRegression, 0.0).unwrap();
+        let ncps: Vec<f64> = (1..=20).map(|i| i as f64 * 0.25).collect();
+        let curve = broker
+            .price_error_curve(
+                ModelKind::LinearRegression,
+                &SquareLossTransform,
+                &simple_pricing(),
+                &ncps,
+            )
+            .unwrap();
+        assert_eq!(curve.points.len(), 20);
+        assert!(curve.is_well_formed());
+    }
+
+    #[test]
+    fn seller_research_to_pricing_pipeline() {
+        let data = market_data(13);
+        let seller = Seller::new(
+            data,
+            grid(20.0, 100.0, 9),
+            ValueCurve::new(ValueShape::Concave { power: 2.0 }, 0.0, 100.0),
+            DemandCurve::new(DemandShape::Uniform),
+        );
+        let broker = Broker::new(market_data(14));
+        let sol = broker.price_from_research(&seller);
+        // Resulting prices live on the seller's grid and are feasible.
+        assert_eq!(sol.pricing.grid().len(), 9);
+        assert!(sol.objective > 0.0);
+    }
+
+    #[test]
+    fn published_listing_sells_without_resupplying_pricing() {
+        let mut broker = Broker::new(market_data(21));
+        broker.support(ModelKind::LinearRegression, 0.0).unwrap();
+        let pricing = simple_pricing();
+        broker
+            .publish(
+                ModelKind::LinearRegression,
+                pricing.clone(),
+                Box::new(SquareLossTransform),
+            )
+            .unwrap();
+        assert_eq!(
+            broker.listed_pricing(ModelKind::LinearRegression).unwrap(),
+            &pricing
+        );
+        let mut rng = seeded_rng(22);
+        let sale = broker
+            .buy_listed(
+                ModelKind::LinearRegression,
+                PurchaseRequest::AtNcp(0.5),
+                &mut rng,
+            )
+            .unwrap();
+        assert!((sale.price - pricing.price_for_ncp(0.5)).abs() < 1e-12);
+        assert_eq!(broker.ledger().len(), 1);
+        // Unlisted model types are rejected.
+        assert!(matches!(
+            broker.buy_listed(ModelKind::LinearSvm, PurchaseRequest::AtNcp(1.0), &mut rng),
+            Err(MarketError::UnsupportedModel(_))
+        ));
+        // Publishing an unsupported model is rejected.
+        assert!(matches!(
+            broker.publish(ModelKind::LinearSvm, pricing, Box::new(SquareLossTransform)),
+            Err(MarketError::UnsupportedModel(_))
+        ));
+    }
+
+    #[test]
+    fn sales_are_noisy_but_unbiased_around_h_star() {
+        let mut broker = Broker::new(market_data(15));
+        let h_star = broker
+            .support(ModelKind::LinearRegression, 0.0)
+            .unwrap()
+            .weights()
+            .clone();
+        let pricing = simple_pricing();
+        let mut rng = seeded_rng(16);
+        let mut mean = mbp_linalg::Vector::zeros(h_star.len());
+        let reps = 3000;
+        for _ in 0..reps {
+            let sale = broker
+                .buy(
+                    ModelKind::LinearRegression,
+                    PurchaseRequest::AtNcp(1.0),
+                    &pricing,
+                    &SquareLossTransform,
+                    &mut rng,
+                )
+                .unwrap();
+            mean.axpy(1.0 / reps as f64, sale.model.weights()).unwrap();
+        }
+        let bias = mean.sub(&h_star).unwrap().norm2();
+        assert!(bias < 0.05, "bias {bias}");
+        assert_eq!(broker.ledger().len(), reps);
+    }
+}

@@ -1,0 +1,168 @@
+//! A thread-safe broker front-end.
+//!
+//! A real marketplace serves many buyers concurrently. Purchases mutate the
+//! broker (ledger, revenue), so the shared handle serializes sales behind a
+//! `parking_lot::Mutex`; reads that only need a snapshot (revenue, ledger
+//! length) take the same lock briefly. The noise mechanism itself is
+//! stateless, so the per-sale critical section is just the perturbation and
+//! a ledger push — microseconds (see the `mechanism/perturb` benches).
+
+use crate::error::ErrorTransform;
+use crate::market::agents::{Broker, MarketError, PurchaseRequest, Sale};
+use crate::pricing::PricingFunction;
+use mbp_ml::ModelKind;
+use mbp_randx::MbpRng;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A cloneable, thread-safe handle to a broker.
+#[derive(Clone)]
+pub struct SharedBroker {
+    inner: Arc<Mutex<Broker>>,
+}
+
+impl SharedBroker {
+    /// Wraps a broker (train the menu with [`Broker::support`] first, or
+    /// through [`SharedBroker::support`]).
+    pub fn new(broker: Broker) -> Self {
+        SharedBroker {
+            inner: Arc::new(Mutex::new(broker)),
+        }
+    }
+
+    /// Adds a model to the menu (delegates to [`Broker::support`]).
+    pub fn support(&self, kind: ModelKind, ridge: f64) -> Result<(), MarketError> {
+        self.inner.lock().support(kind, ridge).map(|_| ())
+    }
+
+    /// Thread-safe purchase; each calling thread supplies its own RNG.
+    pub fn buy(
+        &self,
+        kind: ModelKind,
+        request: PurchaseRequest,
+        pricing: &PricingFunction,
+        transform: &dyn ErrorTransform,
+        rng: &mut MbpRng,
+    ) -> Result<Sale, MarketError> {
+        self.inner
+            .lock()
+            .buy(kind, request, pricing, transform, rng)
+    }
+
+    /// Total revenue collected so far.
+    pub fn total_revenue(&self) -> f64 {
+        self.inner.lock().total_revenue()
+    }
+
+    /// Number of completed transactions.
+    pub fn sales_count(&self) -> usize {
+        self.inner.lock().ledger().len()
+    }
+
+    /// Runs `f` with exclusive access to the underlying broker (for
+    /// maintenance operations that need more than one call atomically).
+    pub fn with_broker<T>(&self, f: impl FnOnce(&mut Broker) -> T) -> T {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SquareLossTransform;
+    use mbp_data::synth;
+    use mbp_randx::{seeded_rng, SeedStream};
+    use std::thread;
+
+    fn shared_broker(seed: u64) -> SharedBroker {
+        let mut rng = seeded_rng(seed);
+        let data = synth::simulated1(600, 4, 0.5, &mut rng).split(0.75, &mut rng);
+        let sb = SharedBroker::new(Broker::new(data));
+        sb.support(ModelKind::LinearRegression, 1e-6).unwrap();
+        sb
+    }
+
+    fn pricing() -> PricingFunction {
+        let g: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let p: Vec<f64> = g.iter().map(|x| 4.0 * x.sqrt()).collect();
+        PricingFunction::from_points(g, p).unwrap()
+    }
+
+    #[test]
+    fn concurrent_purchases_are_all_ledgered() {
+        let sb = shared_broker(81);
+        let pf = pricing();
+        let mut seeds = SeedStream::new(82);
+        let threads = 8;
+        let per_thread = 50;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let sb = sb.clone();
+                let pf = pf.clone();
+                let seed = seeds.next_seed();
+                thread::spawn(move || {
+                    let mut rng = seeded_rng(seed);
+                    let mut paid = 0.0;
+                    for _ in 0..per_thread {
+                        let sale = sb
+                            .buy(
+                                ModelKind::LinearRegression,
+                                PurchaseRequest::AtNcp(0.5),
+                                &pf,
+                                &SquareLossTransform,
+                                &mut rng,
+                            )
+                            .expect("purchase failed");
+                        paid += sale.price;
+                    }
+                    paid
+                })
+            })
+            .collect();
+        let total_paid: f64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(sb.sales_count(), threads * per_thread);
+        assert!((sb.total_revenue() - total_paid).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concurrent_sales_have_distinct_noise() {
+        let sb = shared_broker(83);
+        let pf = pricing();
+        let mut seeds = SeedStream::new(84);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let sb = sb.clone();
+                let pf = pf.clone();
+                let seed = seeds.next_seed();
+                thread::spawn(move || {
+                    let mut rng = seeded_rng(seed);
+                    sb.buy(
+                        ModelKind::LinearRegression,
+                        PurchaseRequest::AtNcp(1.0),
+                        &pf,
+                        &SquareLossTransform,
+                        &mut rng,
+                    )
+                    .unwrap()
+                    .model
+                    .weights()
+                    .clone()
+                })
+            })
+            .collect();
+        let models: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for i in 0..models.len() {
+            for j in (i + 1)..models.len() {
+                assert_ne!(models[i], models[j], "two sales shared a noise draw");
+            }
+        }
+    }
+
+    #[test]
+    fn with_broker_gives_atomic_access() {
+        let sb = shared_broker(85);
+        let (count, revenue) = sb.with_broker(|b| (b.ledger().len(), b.total_revenue()));
+        assert_eq!(count, 0);
+        assert_eq!(revenue, 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Buyer value and demand curve families.
+//!
+//! Figure 2 of the paper: the seller's market research produces a *value
+//! curve* (monetary worth buyers attach to each accuracy level) and a
+//! *demand curve* (how much buyer mass sits at each level), both indexed —
+//! after the error transformation — by the inverse NCP. Figures 7–10 sweep
+//! specific shapes of these curves; this module provides parametric
+//! families covering all of them.
+
+use crate::revenue::BuyerPoint;
+
+/// Shape of a buyer value curve over the inverse-NCP axis.
+///
+/// All shapes are non-decreasing (buyers never value a *less* accurate
+/// model more) and map the grid onto `[v_min, v_max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueShape {
+    /// Straight line from `v_min` to `v_max`.
+    Linear,
+    /// Convex power curve `t^p` (`p > 1`): value concentrates at high
+    /// accuracy (Figure 7(a)).
+    Convex {
+        /// Power `p > 1`.
+        power: f64,
+    },
+    /// Concave power curve `t^(1/p)` (`p > 1`): value saturates early
+    /// (Figure 7(b)).
+    Concave {
+        /// Power `p > 1`.
+        power: f64,
+    },
+    /// Logistic S-curve: value jumps around the midpoint.
+    Sigmoid {
+        /// Steepness of the jump (larger = sharper).
+        steepness: f64,
+    },
+}
+
+/// A value curve `v(x)` on the inverse-NCP axis.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueCurve {
+    shape: ValueShape,
+    v_min: f64,
+    v_max: f64,
+}
+
+impl ValueCurve {
+    /// Creates a value curve ranging from `v_min` to `v_max` over the grid.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ v_min ≤ v_max` and parameters are valid.
+    pub fn new(shape: ValueShape, v_min: f64, v_max: f64) -> Self {
+        assert!(
+            v_min >= 0.0 && v_min <= v_max && v_max.is_finite(),
+            "need 0 <= v_min <= v_max"
+        );
+        match shape {
+            ValueShape::Convex { power } | ValueShape::Concave { power } => {
+                assert!(power > 1.0, "power must exceed 1");
+            }
+            ValueShape::Sigmoid { steepness } => {
+                assert!(steepness > 0.0, "steepness must be positive");
+            }
+            ValueShape::Linear => {}
+        }
+        ValueCurve {
+            shape,
+            v_min,
+            v_max,
+        }
+    }
+
+    /// Value at normalized position `t ∈ [0, 1]` along the grid.
+    pub fn value_at_unit(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        let u = match self.shape {
+            ValueShape::Linear => t,
+            ValueShape::Convex { power } => t.powf(power),
+            ValueShape::Concave { power } => t.powf(1.0 / power),
+            ValueShape::Sigmoid { steepness } => {
+                let raw = 1.0 / (1.0 + (-(t - 0.5) * steepness).exp());
+                let lo = 1.0 / (1.0 + (0.5 * steepness).exp());
+                let hi = 1.0 / (1.0 + (-0.5 * steepness).exp());
+                (raw - lo) / (hi - lo)
+            }
+        };
+        self.v_min + (self.v_max - self.v_min) * u
+    }
+
+    /// Samples the curve on a grid of inverse-NCP points.
+    pub fn sample(&self, grid: &[f64]) -> Vec<f64> {
+        sample_unit(grid, |t| self.value_at_unit(t))
+    }
+}
+
+/// Shape of a buyer demand curve over the inverse-NCP axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DemandShape {
+    /// Equal mass everywhere.
+    Uniform,
+    /// A peak at `center ∈ [0, 1]` with the given width (Figure 8(a):
+    /// most buyers want medium accuracy).
+    Peak {
+        /// Normalized peak position.
+        center: f64,
+        /// Peak width (standard deviation in normalized units).
+        width: f64,
+    },
+    /// Two peaks at the extremes (Figure 8(b): buyers want either very low
+    /// or very high accuracy).
+    Bimodal {
+        /// Width of each extreme peak.
+        width: f64,
+    },
+    /// Mass increases linearly toward high accuracy.
+    Increasing,
+    /// Mass decreases linearly away from low accuracy.
+    Decreasing,
+}
+
+/// A demand curve producing normalized buyer masses on a grid.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandCurve {
+    shape: DemandShape,
+}
+
+impl DemandCurve {
+    /// Creates a demand curve.
+    ///
+    /// # Panics
+    /// Panics on non-positive widths or out-of-range centers.
+    pub fn new(shape: DemandShape) -> Self {
+        match shape {
+            DemandShape::Peak { center, width } => {
+                assert!((0.0..=1.0).contains(&center), "center must be in [0,1]");
+                assert!(width > 0.0, "width must be positive");
+            }
+            DemandShape::Bimodal { width } => assert!(width > 0.0, "width must be positive"),
+            _ => {}
+        }
+        DemandCurve { shape }
+    }
+
+    /// Unnormalized mass at normalized position `t ∈ [0, 1]`.
+    fn mass_at_unit(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        match self.shape {
+            DemandShape::Uniform => 1.0,
+            DemandShape::Peak { center, width } => {
+                let z = (t - center) / width;
+                (-0.5 * z * z).exp()
+            }
+            DemandShape::Bimodal { width } => {
+                let z0 = t / width;
+                let z1 = (t - 1.0) / width;
+                (-0.5 * z0 * z0).exp() + (-0.5 * z1 * z1).exp()
+            }
+            DemandShape::Increasing => 0.1 + 0.9 * t,
+            DemandShape::Decreasing => 1.0 - 0.9 * t,
+        }
+    }
+
+    /// Samples the curve on a grid, normalized to total mass 1.
+    ///
+    /// # Panics
+    /// Panics on an empty grid.
+    pub fn sample(&self, grid: &[f64]) -> Vec<f64> {
+        assert!(!grid.is_empty(), "grid is empty");
+        let raw = sample_unit(grid, |t| self.mass_at_unit(t));
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|m| m / total).collect()
+    }
+}
+
+fn sample_unit(grid: &[f64], f: impl Fn(f64) -> f64) -> Vec<f64> {
+    assert!(!grid.is_empty(), "grid is empty");
+    assert!(
+        grid.windows(2).all(|w| w[0] < w[1]),
+        "grid must be strictly ascending"
+    );
+    let (lo, hi) = (grid[0], grid[grid.len() - 1]);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    grid.iter().map(|&x| f((x - lo) / span)).collect()
+}
+
+/// An evenly spaced inverse-NCP grid, e.g. `grid(20.0, 100.0, 9)` gives the
+/// paper's `1/NCP ∈ {20, 30, …, 100}` axis.
+///
+/// # Panics
+/// Panics unless `0 < lo < hi` and `n ≥ 2`.
+pub fn grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && lo < hi && n >= 2, "need 0 < lo < hi and n >= 2");
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Combines a grid with value and demand curves into the buyer population
+/// the revenue optimizers consume.
+pub fn buyer_points(grid: &[f64], value: &ValueCurve, demand: &DemandCurve) -> Vec<BuyerPoint> {
+    let v = value.sample(grid);
+    let b = demand.sample(grid);
+    grid.iter()
+        .zip(v)
+        .zip(b)
+        .map(|((&a, vj), bj)| BuyerPoint::new(a, vj, bj))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_endpoints() {
+        let g = grid(20.0, 100.0, 9);
+        assert_eq!(g.len(), 9);
+        assert_eq!(g[0], 20.0);
+        assert_eq!(g[8], 100.0);
+        assert!((g[1] - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_shapes_are_monotone_and_ranged() {
+        let shapes = [
+            ValueShape::Linear,
+            ValueShape::Convex { power: 2.5 },
+            ValueShape::Concave { power: 2.5 },
+            ValueShape::Sigmoid { steepness: 8.0 },
+        ];
+        let g = grid(20.0, 100.0, 17);
+        for shape in shapes {
+            let curve = ValueCurve::new(shape, 0.0, 100.0);
+            let v = curve.sample(&g);
+            assert!((v[0] - 0.0).abs() < 1e-9, "{shape:?} start {}", v[0]);
+            assert!((v[16] - 100.0).abs() < 1e-9, "{shape:?} end {}", v[16]);
+            for w in v.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12, "{shape:?} not monotone: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn convex_below_linear_below_concave() {
+        let g = grid(1.0, 2.0, 11);
+        let lin = ValueCurve::new(ValueShape::Linear, 0.0, 1.0).sample(&g);
+        let cvx = ValueCurve::new(ValueShape::Convex { power: 3.0 }, 0.0, 1.0).sample(&g);
+        let ccv = ValueCurve::new(ValueShape::Concave { power: 3.0 }, 0.0, 1.0).sample(&g);
+        for i in 1..10 {
+            assert!(cvx[i] < lin[i]);
+            assert!(ccv[i] > lin[i]);
+        }
+    }
+
+    #[test]
+    fn demand_normalizes_to_one() {
+        let g = grid(20.0, 100.0, 9);
+        for shape in [
+            DemandShape::Uniform,
+            DemandShape::Peak {
+                center: 0.5,
+                width: 0.2,
+            },
+            DemandShape::Bimodal { width: 0.15 },
+            DemandShape::Increasing,
+            DemandShape::Decreasing,
+        ] {
+            let b = DemandCurve::new(shape).sample(&g);
+            let total: f64 = b.iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "{shape:?}");
+            assert!(b.iter().all(|&m| m > 0.0), "{shape:?}");
+        }
+    }
+
+    #[test]
+    fn peak_demand_peaks_in_the_middle() {
+        let g = grid(20.0, 100.0, 9);
+        let b = DemandCurve::new(DemandShape::Peak {
+            center: 0.5,
+            width: 0.15,
+        })
+        .sample(&g);
+        let mid = b[4];
+        assert!(mid > b[0] && mid > b[8]);
+    }
+
+    #[test]
+    fn bimodal_demand_dips_in_the_middle() {
+        let g = grid(20.0, 100.0, 9);
+        let b = DemandCurve::new(DemandShape::Bimodal { width: 0.15 }).sample(&g);
+        assert!(b[4] < b[0] && b[4] < b[8]);
+    }
+
+    #[test]
+    fn buyer_points_compose() {
+        let g = grid(20.0, 100.0, 5);
+        let pts = buyer_points(
+            &g,
+            &ValueCurve::new(ValueShape::Linear, 10.0, 100.0),
+            &DemandCurve::new(DemandShape::Uniform),
+        );
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].a, 20.0);
+        assert!((pts[0].valuation - 10.0).abs() < 1e-9);
+        assert!((pts[0].demand - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "v_min <= v_max")]
+    fn value_curve_rejects_inverted_range() {
+        ValueCurve::new(ValueShape::Linear, 5.0, 1.0);
+    }
+}

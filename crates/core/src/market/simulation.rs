@@ -1,0 +1,266 @@
+//! Monte-Carlo market simulation: a stream of buyers drawn from the
+//! seller's research curves purchases (or declines) against a pricing
+//! function, validating that the revenue the optimizer *predicts* is the
+//! revenue the market *realizes*.
+//!
+//! Each simulated buyer samples an accuracy preference from the demand
+//! curve, a valuation from the value curve (optionally jittered to model
+//! research error), and buys the model at their preferred precision iff
+//! the listed price is within their valuation — exactly the buyer model of
+//! Section 5's `T_bv` objective.
+
+use crate::error::ErrorTransform;
+use crate::market::agents::{Broker, MarketError, PurchaseRequest, Seller};
+use crate::pricing::PricingFunction;
+use crate::revenue;
+use mbp_ml::ModelKind;
+use mbp_randx::{Categorical, Distribution, MbpRng, Normal};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulationConfig {
+    /// Number of buyer arrivals to simulate.
+    pub n_buyers: usize,
+    /// Relative valuation jitter: each buyer's valuation is
+    /// `v·(1 + jitter·N(0,1))`, clamped at 0. Zero reproduces the research
+    /// curves exactly.
+    pub valuation_jitter: f64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            n_buyers: 1000,
+            valuation_jitter: 0.0,
+        }
+    }
+}
+
+/// Result of a simulated selling season.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// Expected revenue per buyer predicted from the research curves
+    /// (`Σ b_j·p(a_j)·1[p ≤ v_j]` with demand normalized to mass 1).
+    pub predicted_revenue_per_buyer: f64,
+    /// Average realized revenue per simulated buyer.
+    pub realized_revenue_per_buyer: f64,
+    /// Buyers who purchased.
+    pub served: usize,
+    /// Buyers who declined (price above their valuation).
+    pub declined: usize,
+    /// Affordability predicted from the curves.
+    pub predicted_affordability: f64,
+}
+
+impl SimulationOutcome {
+    /// Realized affordability ratio.
+    pub fn realized_affordability(&self) -> f64 {
+        let total = self.served + self.declined;
+        if total == 0 {
+            0.0
+        } else {
+            self.served as f64 / total as f64
+        }
+    }
+}
+
+/// Runs a selling season for `kind` against `pricing`.
+///
+/// The broker must already support `kind`. Buyers who can afford their
+/// preferred precision purchase through the normal [`Broker::buy`] path
+/// (so the ledger and the released noisy instances are real); the rest
+/// walk away.
+///
+/// # Panics
+/// Panics when `cfg.n_buyers == 0` or the jitter is negative.
+pub fn simulate_market(
+    broker: &mut Broker,
+    seller: &Seller,
+    kind: ModelKind,
+    pricing: &PricingFunction,
+    transform: &dyn ErrorTransform,
+    cfg: SimulationConfig,
+    rng: &mut MbpRng,
+) -> Result<SimulationOutcome, MarketError> {
+    assert!(cfg.n_buyers > 0, "need at least one buyer");
+    assert!(
+        cfg.valuation_jitter >= 0.0 && cfg.valuation_jitter.is_finite(),
+        "jitter must be >= 0"
+    );
+    let population = seller.buyer_population();
+    let predicted_revenue_per_buyer = revenue::revenue(pricing, &population);
+    let predicted_affordability = revenue::affordability(pricing, &population);
+    let demands: Vec<f64> = population.iter().map(|p| p.demand).collect();
+    let arrivals = Categorical::new(&demands);
+    let jitter = Normal::new(0.0, 1.0);
+
+    let ledger_before = broker.total_revenue();
+    let mut served = 0usize;
+    let mut declined = 0usize;
+    for _ in 0..cfg.n_buyers {
+        let idx = arrivals.sample(rng);
+        let point = &population[idx];
+        let valuation = if cfg.valuation_jitter > 0.0 {
+            (point.valuation * (1.0 + cfg.valuation_jitter * jitter.sample(rng))).max(0.0)
+        } else {
+            point.valuation
+        };
+        let price = pricing.price_at(point.a);
+        if price <= valuation + 1e-12 {
+            broker.buy(
+                kind,
+                PurchaseRequest::AtNcp(1.0 / point.a),
+                pricing,
+                transform,
+                rng,
+            )?;
+            served += 1;
+        } else {
+            declined += 1;
+        }
+    }
+    let realized = broker.total_revenue() - ledger_before;
+    Ok(SimulationOutcome {
+        predicted_revenue_per_buyer,
+        realized_revenue_per_buyer: realized / cfg.n_buyers as f64,
+        served,
+        declined,
+        predicted_affordability,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SquareLossTransform;
+    use crate::market::curves::{grid, DemandCurve, DemandShape, ValueCurve, ValueShape};
+    use mbp_data::synth;
+    use mbp_randx::seeded_rng;
+
+    fn setup(seed: u64) -> (Seller, Broker) {
+        let mut rng = seeded_rng(seed);
+        let data = synth::simulated1(800, 4, 0.5, &mut rng).split(0.75, &mut rng);
+        let seller = Seller::new(
+            data.clone(),
+            grid(10.0, 100.0, 10),
+            ValueCurve::new(ValueShape::Concave { power: 2.0 }, 5.0, 100.0),
+            DemandCurve::new(DemandShape::Uniform),
+        );
+        let mut broker = Broker::new(data);
+        broker
+            .support(ModelKind::LinearRegression, 1e-6)
+            .expect("train");
+        (seller, broker)
+    }
+
+    #[test]
+    fn realized_revenue_matches_prediction_without_jitter() {
+        let (seller, mut broker) = setup(71);
+        let pricing = broker.price_from_research(&seller).pricing;
+        let mut rng = seeded_rng(72);
+        let out = simulate_market(
+            &mut broker,
+            &seller,
+            ModelKind::LinearRegression,
+            &pricing,
+            &SquareLossTransform,
+            SimulationConfig {
+                n_buyers: 4000,
+                valuation_jitter: 0.0,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let rel = (out.realized_revenue_per_buyer - out.predicted_revenue_per_buyer).abs()
+            / out.predicted_revenue_per_buyer;
+        assert!(
+            rel < 0.05,
+            "realized {} vs predicted {}",
+            out.realized_revenue_per_buyer,
+            out.predicted_revenue_per_buyer
+        );
+        let aff_gap = (out.realized_affordability() - out.predicted_affordability).abs();
+        assert!(aff_gap < 0.03, "affordability gap {aff_gap}");
+        assert_eq!(out.served + out.declined, 4000);
+        assert_eq!(broker.ledger().len(), out.served);
+    }
+
+    #[test]
+    fn jitter_serves_some_marginal_buyers_both_ways() {
+        let (seller, mut broker) = setup(73);
+        let pricing = broker.price_from_research(&seller).pricing;
+        let mut rng = seeded_rng(74);
+        let out = simulate_market(
+            &mut broker,
+            &seller,
+            ModelKind::LinearRegression,
+            &pricing,
+            &SquareLossTransform,
+            SimulationConfig {
+                n_buyers: 2000,
+                valuation_jitter: 0.3,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        // With jitter the outcome still lands in a sane band around the
+        // prediction (prices sit at valuations, so jitter pushes marginal
+        // buyers out roughly half the time).
+        assert!(out.served > 0 && out.declined > 0);
+        assert!(out.realized_revenue_per_buyer > 0.2 * out.predicted_revenue_per_buyer);
+        assert!(out.realized_revenue_per_buyer < 1.5 * out.predicted_revenue_per_buyer);
+    }
+
+    #[test]
+    fn higher_prices_reduce_realized_affordability() {
+        let (seller, mut broker) = setup(75);
+        let dp = broker.price_from_research(&seller).pricing;
+        let expensive = PricingFunction::from_points(
+            dp.grid().to_vec(),
+            dp.prices().iter().map(|p| p * 3.0).collect(),
+        )
+        .unwrap();
+        let mut rng = seeded_rng(76);
+        let cheap_out = simulate_market(
+            &mut broker,
+            &seller,
+            ModelKind::LinearRegression,
+            &dp,
+            &SquareLossTransform,
+            SimulationConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let costly_out = simulate_market(
+            &mut broker,
+            &seller,
+            ModelKind::LinearRegression,
+            &expensive,
+            &SquareLossTransform,
+            SimulationConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(costly_out.realized_affordability() < cheap_out.realized_affordability());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one buyer")]
+    fn zero_buyers_panics() {
+        let (seller, mut broker) = setup(77);
+        let pricing = broker.price_from_research(&seller).pricing;
+        let mut rng = seeded_rng(78);
+        let _ = simulate_market(
+            &mut broker,
+            &seller,
+            ModelKind::LinearRegression,
+            &pricing,
+            &SquareLossTransform,
+            SimulationConfig {
+                n_buyers: 0,
+                valuation_jitter: 0.0,
+            },
+            &mut rng,
+        );
+    }
+}

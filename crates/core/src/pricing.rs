@@ -1,0 +1,370 @@
+//! Pricing functions over the inverse-NCP axis.
+//!
+//! The paper prices a released model by `p̄(x)` where `x = 1/δ` is the
+//! *precision* (inverse noise). Theorem 5/6: the market is arbitrage-free
+//! iff `p̄` is non-negative, monotone non-decreasing, and subadditive.
+//!
+//! Optimizers produce prices at finitely many grid points; Proposition 1
+//! shows how to extend them to all of `R⁺` without losing the (relaxed)
+//! arbitrage-free property:
+//!
+//! * on `[0, a₁]`: the ray `x · z₁/a₁` through the origin;
+//! * on `[a_j, a_{j+1}]`: linear interpolation;
+//! * on `[a_n, ∞)`: the constant `z_n`.
+//!
+//! [`PricingFunction`] stores the grid and implements that evaluation. The
+//! constructor validates only basic sanity (ascending grid, finite
+//! non-negative prices) — deliberately, so that *broken* pricing functions
+//! can be represented and handed to the [`arbitrage`](crate::arbitrage)
+//! auditors, as in Figure 3's illustration.
+
+use std::fmt;
+
+/// Errors from pricing-function construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PricingError {
+    /// Grid and price vectors have different lengths or are empty.
+    BadShape {
+        /// Grid length.
+        grid: usize,
+        /// Price-vector length.
+        prices: usize,
+    },
+    /// Grid is not strictly ascending and positive.
+    BadGrid,
+    /// A price is negative or non-finite.
+    BadPrice {
+        /// Index of the offending price.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PricingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PricingError::BadShape { grid, prices } => {
+                write!(f, "grid has {grid} points but prices has {prices} (both must be equal and nonzero)")
+            }
+            PricingError::BadGrid => write!(f, "grid must be strictly ascending and positive"),
+            PricingError::BadPrice { index, value } => {
+                write!(f, "price {index} is invalid: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PricingError {}
+
+/// A piecewise-linear pricing function `p̄(x)` over the inverse-NCP axis
+/// (Proposition 1 construction).
+///
+/// ```
+/// use mbp_core::pricing::PricingFunction;
+///
+/// // Prices at precisions 1, 2, 4 — concave, hence arbitrage-free.
+/// let p = PricingFunction::from_points(vec![1.0, 2.0, 4.0], vec![10.0, 14.0, 20.0]).unwrap();
+/// assert_eq!(p.price_at(2.0), 14.0);          // knot
+/// assert_eq!(p.price_at(3.0), 17.0);          // linear interpolation
+/// assert_eq!(p.price_at(100.0), 20.0);        // saturates past the grid
+/// assert_eq!(p.price_for_ncp(0.5), p.price_at(2.0)); // price of noise δ = 1/2
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricingFunction {
+    grid: Vec<f64>,
+    prices: Vec<f64>,
+}
+
+impl PricingFunction {
+    /// Builds a pricing function through the points `(grid[j], prices[j])`.
+    pub fn from_points(grid: Vec<f64>, prices: Vec<f64>) -> Result<Self, PricingError> {
+        if grid.is_empty() || grid.len() != prices.len() {
+            return Err(PricingError::BadShape {
+                grid: grid.len(),
+                prices: prices.len(),
+            });
+        }
+        if !(grid.windows(2).all(|w| w[0] < w[1]) && grid.iter().all(|&x| x > 0.0 && x.is_finite()))
+        {
+            return Err(PricingError::BadGrid);
+        }
+        for (i, &p) in prices.iter().enumerate() {
+            if !(p >= 0.0 && p.is_finite()) {
+                return Err(PricingError::BadPrice { index: i, value: p });
+            }
+        }
+        Ok(PricingFunction { grid, prices })
+    }
+
+    /// A constant pricing function `p̄ ≡ c` represented on a trivial grid.
+    pub fn constant(c: f64) -> Self {
+        assert!(c >= 0.0 && c.is_finite(), "constant price must be >= 0");
+        PricingFunction {
+            grid: vec![1.0],
+            prices: vec![c],
+        }
+    }
+
+    /// The grid points (ascending inverse-NCP values).
+    pub fn grid(&self) -> &[f64] {
+        &self.grid
+    }
+
+    /// The prices at the grid points.
+    pub fn prices(&self) -> &[f64] {
+        &self.prices
+    }
+
+    /// Evaluates `p̄(x)` for any precision `x ≥ 0` (Proposition 1 rules).
+    ///
+    /// # Panics
+    /// Panics for negative or non-finite `x`.
+    pub fn price_at(&self, x: f64) -> f64 {
+        assert!(x >= 0.0 && x.is_finite(), "precision must be >= 0, got {x}");
+        let n = self.grid.len();
+        // Constant-price special case: grid carries no slope information.
+        if n == 1 {
+            return if x == 0.0 { 0.0 } else { self.prices[0] };
+        }
+        if x == 0.0 {
+            return 0.0;
+        }
+        if x <= self.grid[0] {
+            return self.prices[0] * x / self.grid[0];
+        }
+        if x >= self.grid[n - 1] {
+            return self.prices[n - 1];
+        }
+        let idx = self.grid.partition_point(|&g| g <= x);
+        let (x0, x1) = (self.grid[idx - 1], self.grid[idx]);
+        let (y0, y1) = (self.prices[idx - 1], self.prices[idx]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Price of the model released with noise control parameter `δ > 0`:
+    /// `p(δ) = p̄(1/δ)`.
+    ///
+    /// # Panics
+    /// Panics for `δ ≤ 0` (a zero-noise release has unbounded precision;
+    /// its price is the curve's saturation value, use [`Self::max_price`]).
+    pub fn price_for_ncp(&self, delta: f64) -> f64 {
+        assert!(
+            delta > 0.0 && delta.is_finite(),
+            "NCP must be > 0, got {delta}"
+        );
+        self.price_at(1.0 / delta)
+    }
+
+    /// The saturation price `lim_{x→∞} p̄(x) = z_n`.
+    pub fn max_price(&self) -> f64 {
+        *self.prices.last().expect("non-empty by construction")
+    }
+
+    /// Largest precision purchasable with budget `b`, or `None` when even
+    /// the cheapest positive-precision point exceeds the budget.
+    ///
+    /// Because `p̄` is monotone, this is a scan over segments; within the
+    /// saturated tail any precision is affordable, so the function returns
+    /// `f64::INFINITY` when `b ≥ max_price()`.
+    pub fn max_precision_for_budget(&self, b: f64) -> Option<f64> {
+        assert!(b >= 0.0 && b.is_finite(), "budget must be >= 0");
+        if b >= self.max_price() {
+            return Some(f64::INFINITY);
+        }
+        let n = self.grid.len();
+        // Initial ray.
+        if b < self.prices[0] {
+            if n == 1 {
+                // Constant curve: any precision costs prices[0] > b.
+                return None;
+            }
+            if self.prices[0] <= 0.0 {
+                return None;
+            }
+            let x = self.grid[0] * b / self.prices[0];
+            return (x > 0.0).then_some(x);
+        }
+        // Walk segments; price is monotone so find the last affordable x.
+        let mut best = self.grid[0];
+        for i in 0..n - 1 {
+            let (y0, y1) = (self.prices[i], self.prices[i + 1]);
+            if b >= y1 {
+                best = self.grid[i + 1];
+                continue;
+            }
+            if b >= y0 && y1 > y0 {
+                let t = (b - y0) / (y1 - y0);
+                best = self.grid[i] + t * (self.grid[i + 1] - self.grid[i]);
+            }
+            break;
+        }
+        Some(best)
+    }
+}
+
+/// A buyer-facing view of a pricing function in *error units* (Theorem 6):
+/// composing `p̄` with the error-inverse `φ` gives the price of "expected
+/// error at most ε" directly, which is how buyers think.
+pub struct ErrorPricedView<'a> {
+    pricing: &'a PricingFunction,
+    transform: &'a dyn crate::error::ErrorTransform,
+}
+
+impl<'a> ErrorPricedView<'a> {
+    /// Wraps a pricing function and an error transform.
+    pub fn new(
+        pricing: &'a PricingFunction,
+        transform: &'a dyn crate::error::ErrorTransform,
+    ) -> Self {
+        ErrorPricedView { pricing, transform }
+    }
+
+    /// Price of a release with expected error `err`, or `None` when that
+    /// error is unachievable for this model/dataset.
+    pub fn price_for_error(&self, err: f64) -> Option<f64> {
+        let ncp = self.transform.ncp_for_error(err)?;
+        if ncp <= 0.0 {
+            // Zero noise: the curve saturates (the grid caps precision).
+            return Some(self.pricing.max_price());
+        }
+        Some(self.pricing.price_for_ncp(ncp))
+    }
+
+    /// Samples `(error, price)` pairs over a δ grid — the curve of
+    /// Figure 2(d).
+    pub fn curve(&self, ncps: &[f64]) -> Vec<(f64, f64)> {
+        ncps.iter()
+            .map(|&d| {
+                (
+                    self.transform.expected_error(d),
+                    self.pricing.price_for_ncp(d),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{ErrorTransform, LinRegSquareTransform, SquareLossTransform};
+
+    fn pf() -> PricingFunction {
+        PricingFunction::from_points(vec![1.0, 2.0, 4.0], vec![10.0, 14.0, 20.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            PricingFunction::from_points(vec![], vec![]),
+            Err(PricingError::BadShape { .. })
+        ));
+        assert!(matches!(
+            PricingFunction::from_points(vec![2.0, 1.0], vec![1.0, 1.0]),
+            Err(PricingError::BadGrid)
+        ));
+        assert!(matches!(
+            PricingFunction::from_points(vec![1.0], vec![-2.0]),
+            Err(PricingError::BadPrice { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn evaluation_follows_proposition1() {
+        let p = pf();
+        assert_eq!(p.price_at(0.0), 0.0);
+        assert!((p.price_at(0.5) - 5.0).abs() < 1e-12); // ray to (1, 10)
+        assert_eq!(p.price_at(1.0), 10.0);
+        assert!((p.price_at(1.5) - 12.0).abs() < 1e-12); // interp
+        assert_eq!(p.price_at(4.0), 20.0);
+        assert_eq!(p.price_at(100.0), 20.0); // constant tail
+    }
+
+    #[test]
+    fn ncp_view_is_reciprocal() {
+        let p = pf();
+        assert_eq!(p.price_for_ncp(1.0), p.price_at(1.0));
+        assert_eq!(p.price_for_ncp(0.25), p.price_at(4.0));
+        assert!((p.price_for_ncp(2.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_curve() {
+        let p = PricingFunction::constant(7.0);
+        assert_eq!(p.price_at(0.5), 7.0);
+        assert_eq!(p.price_at(50.0), 7.0);
+        assert_eq!(p.price_at(0.0), 0.0);
+        assert_eq!(p.max_price(), 7.0);
+    }
+
+    #[test]
+    fn budget_inversion() {
+        let p = pf();
+        // Budget 5 buys the ray point x = 0.5.
+        assert!((p.max_precision_for_budget(5.0).unwrap() - 0.5).abs() < 1e-12);
+        // Budget 12 lands mid-segment between (1,10) and (2,14): x = 1.5.
+        assert!((p.max_precision_for_budget(12.0).unwrap() - 1.5).abs() < 1e-12);
+        // Budget ≥ max price buys unbounded precision.
+        assert_eq!(p.max_precision_for_budget(25.0), Some(f64::INFINITY));
+        // Zero budget buys nothing (positive prices).
+        assert_eq!(p.max_precision_for_budget(0.0), None);
+    }
+
+    #[test]
+    fn budget_on_constant_curve() {
+        let p = PricingFunction::constant(7.0);
+        assert_eq!(p.max_precision_for_budget(3.0), None);
+        assert_eq!(p.max_precision_for_budget(7.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "NCP must be > 0")]
+    fn zero_ncp_price_panics() {
+        pf().price_for_ncp(0.0);
+    }
+
+    #[test]
+    fn error_priced_view_identity_transform() {
+        let p = pf();
+        let t = SquareLossTransform;
+        let view = ErrorPricedView::new(&p, &t);
+        // With ε_s, error IS the NCP: error 2.0 ⇒ δ = 2 ⇒ x = 0.5 ⇒ price 5.
+        assert!((view.price_for_error(2.0).unwrap() - 5.0).abs() < 1e-12);
+        // Lower error costs more.
+        assert!(view.price_for_error(0.5).unwrap() > view.price_for_error(2.0).unwrap());
+        // Negative error is unachievable.
+        assert_eq!(view.price_for_error(-1.0), None);
+        // Zero error: the transform returns δ = 0, which saturates the
+        // curve at its maximum price.
+        assert_eq!(view.price_for_error(0.0), Some(p.max_price()));
+    }
+
+    #[test]
+    fn error_priced_view_curve_is_monotone() {
+        let p = pf();
+        let mut rng = mbp_randx::seeded_rng(3);
+        let ds = mbp_data::synth::simulated1(300, 3, 0.3, &mut rng);
+        let h = mbp_ml::train::ridge_closed_form(&ds, 0.0).unwrap();
+        let t = LinRegSquareTransform::new(&ds, &h);
+        let view = ErrorPricedView::new(&p, &t);
+        let ncps: Vec<f64> = (1..=20).map(|i| 0.1 * i as f64).collect();
+        let curve = view.curve(&ncps);
+        for w in curve.windows(2) {
+            // Error grows with δ, price falls with δ.
+            assert!(w[0].0 <= w[1].0 + 1e-12);
+            assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+        // The view agrees with composing by hand at a probe point.
+        let err = t.expected_error(0.7);
+        let via_view = view.price_for_error(err).unwrap();
+        assert!((via_view - p.price_for_ncp(0.7)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_segment_budget() {
+        let p = PricingFunction::from_points(vec![1.0, 2.0, 3.0], vec![5.0, 5.0, 9.0]).unwrap();
+        // Budget 5 should reach the far end of the flat segment (x = 2).
+        assert!((p.max_precision_for_budget(5.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+}

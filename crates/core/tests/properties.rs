@@ -1,0 +1,122 @@
+//! Property-based tests for the pricing core: Proposition 1 evaluation,
+//! budget inversion, DP feasibility/optimality structure, and baseline
+//! well-behavedness on random instances.
+
+use mbp_core::arbitrage::audit;
+use mbp_core::pricing::PricingFunction;
+use mbp_core::revenue::{affordability, revenue, solve_bv_dp, Baseline, BuyerPoint};
+use mbp_optim::isotonic::is_relaxed_feasible;
+use proptest::prelude::*;
+
+/// Random ascending positive grid + arbitrary non-negative prices.
+fn grid_and_prices() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    prop::collection::vec((0.3..3.0f64, 0.0..50.0f64), 1..12).prop_map(|raw| {
+        let mut a = 0.0;
+        let mut grid = Vec::with_capacity(raw.len());
+        let mut prices = Vec::with_capacity(raw.len());
+        for (gap, p) in raw {
+            a += gap;
+            grid.push(a);
+            prices.push(p);
+        }
+        (grid, prices)
+    })
+}
+
+/// Random monotone-valuation buyer instance.
+fn buyer_instance() -> impl Strategy<Value = Vec<BuyerPoint>> {
+    prop::collection::vec((0.5..4.0f64, 0.0..25.0f64, 0.05..2.0f64), 1..10).prop_map(|raw| {
+        let mut a = 0.0;
+        let mut v = 0.0;
+        raw.into_iter()
+            .map(|(gap, dv, b)| {
+                a += gap;
+                v += dv;
+                BuyerPoint::new(a, v, b)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Proposition 1 evaluation: the curve interpolates its grid points
+    /// exactly, is continuous at the knots, rides the origin ray below the
+    /// grid, and saturates above it.
+    #[test]
+    fn pricing_evaluation_interpolates((grid, prices) in grid_and_prices()) {
+        let pf = PricingFunction::from_points(grid.clone(), prices.clone()).unwrap();
+        for (x, p) in grid.iter().zip(&prices) {
+            prop_assert!((pf.price_at(*x) - p).abs() < 1e-9);
+            // Knot continuity from both sides.
+            prop_assert!((pf.price_at(x * (1.0 + 1e-9)) - p).abs() < 1e-5);
+            prop_assert!((pf.price_at(x * (1.0 - 1e-9)) - p).abs() < 1e-5);
+        }
+        prop_assert_eq!(pf.price_at(0.0), 0.0);
+        let tail = grid.last().unwrap() * 10.0;
+        prop_assert!((pf.price_at(tail) - prices.last().unwrap()).abs() < 1e-12);
+        // Origin ray is proportional (only meaningful with >1 knot; the
+        // single-knot constant curve is flat by construction).
+        if grid.len() > 1 {
+            let x0 = grid[0] * 0.5;
+            prop_assert!((pf.price_at(x0) - prices[0] * 0.5).abs() < 1e-9);
+        }
+    }
+
+    /// Budget inversion round-trips on monotone curves: buying at the
+    /// returned precision costs at most the budget, and any meaningfully
+    /// higher precision costs strictly more.
+    #[test]
+    fn budget_inversion_is_tight((grid, mut prices) in grid_and_prices(), budget in 0.5..60.0f64) {
+        // Make the curve strictly increasing so inversion is unambiguous.
+        prices.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, p) in prices.iter_mut().enumerate() {
+            *p += 0.25 * (i as f64 + 1.0);
+        }
+        let pf = PricingFunction::from_points(grid.clone(), prices).unwrap();
+        match pf.max_precision_for_budget(budget) {
+            None => prop_assert!(budget < pf.price_at(grid[0] * 1e-6) + 1e-9 || pf.prices()[0] > budget),
+            Some(x) if x.is_infinite() => prop_assert!(budget >= pf.max_price() - 1e-9),
+            Some(x) => {
+                prop_assert!(pf.price_at(x) <= budget + 1e-6);
+                let probe = (x * 1.01).min(grid.last().unwrap() * 2.0);
+                if probe > x && probe <= *grid.last().unwrap() {
+                    prop_assert!(pf.price_at(probe) >= budget - 1e-6);
+                }
+            }
+        }
+    }
+
+    /// The DP always emits relaxed-feasible (hence arbitrage-free) prices
+    /// that never exceed valuations at served points, and its revenue
+    /// evaluation is consistent.
+    #[test]
+    fn dp_output_always_well_behaved(points in buyer_instance()) {
+        let sol = solve_bv_dp(&points);
+        let grid: Vec<f64> = points.iter().map(|p| p.a).collect();
+        prop_assert!(is_relaxed_feasible(sol.pricing.prices(), &grid, 1e-7));
+        prop_assert!((sol.objective - revenue(&sol.pricing, &points)).abs() < 1e-9);
+        prop_assert!(sol.objective >= -1e-12);
+        // Revenue never exceeds total surplus.
+        let surplus: f64 = points.iter().map(|p| p.demand * p.valuation).sum();
+        prop_assert!(sol.objective <= surplus + 1e-9);
+        // Audit it on the instance grid.
+        let report = audit(&sol.pricing, &grid, 4, 1e-5);
+        prop_assert!(report.is_clean(), "{:?}", report);
+    }
+
+    /// Every baseline yields a well-behaved (monotone + subadditive on the
+    /// grid) pricing function with affordability in [0, 1].
+    #[test]
+    fn baselines_always_well_behaved(points in buyer_instance()) {
+        let grid: Vec<f64> = points.iter().map(|p| p.a).collect();
+        for b in Baseline::ALL {
+            let pf = b.pricing(&points);
+            let report = audit(&pf, &grid, 4, 1e-5);
+            prop_assert!(report.is_clean(), "{}: {:?}", b.name(), report);
+            let a = affordability(&pf, &points);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
+        }
+    }
+}

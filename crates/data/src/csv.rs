@@ -1,0 +1,228 @@
+//! Minimal CSV I/O for datasets.
+//!
+//! Real marketplaces ingest seller tables from files; this module reads and
+//! writes the simple numeric-CSV dialect the examples use (comma-separated,
+//! optional header, last column is the target). It deliberately does not try
+//! to be a general CSV parser — quoting and escaping are out of scope for
+//! numeric tables.
+
+use crate::Dataset;
+use mbp_linalg::{Matrix, Vector};
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A cell failed to parse as `f64`.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell text.
+        cell: String,
+    },
+    /// A row had a different number of columns than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Expected column count.
+        expected: usize,
+        /// Observed column count.
+        got: usize,
+    },
+    /// The input contained no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv io error: {e}"),
+            CsvError::BadNumber { line, cell } => {
+                write!(f, "line {line}: cannot parse {cell:?} as a number")
+            }
+            CsvError::RaggedRow {
+                line,
+                expected,
+                got,
+            } => {
+                write!(f, "line {line}: expected {expected} columns, got {got}")
+            }
+            CsvError::Empty => write!(f, "csv contained no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads a dataset from CSV text: each row is `x₁,…,x_d,y`.
+///
+/// A first line that fails numeric parsing is treated as a header and
+/// skipped; any later non-numeric cell is an error.
+pub fn read_dataset<R: Read>(reader: R) -> Result<Dataset, CsvError> {
+    let buf = BufReader::new(reader);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (i, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f64>, _> = cells.iter().map(|c| c.parse::<f64>()).collect();
+        match parsed {
+            Ok(vals) => {
+                if let Some(w) = width {
+                    if vals.len() != w {
+                        return Err(CsvError::RaggedRow {
+                            line: i + 1,
+                            expected: w,
+                            got: vals.len(),
+                        });
+                    }
+                } else {
+                    width = Some(vals.len());
+                }
+                rows.push(vals);
+            }
+            Err(_) => {
+                if i == 0 && rows.is_empty() {
+                    continue; // header row
+                }
+                let bad = cells
+                    .iter()
+                    .find(|c| c.parse::<f64>().is_err())
+                    .unwrap_or(&"");
+                return Err(CsvError::BadNumber {
+                    line: i + 1,
+                    cell: (*bad).to_string(),
+                });
+            }
+        }
+    }
+    let width = width.ok_or(CsvError::Empty)?;
+    if width < 2 {
+        return Err(CsvError::RaggedRow {
+            line: 1,
+            expected: 2,
+            got: width,
+        });
+    }
+    let n = rows.len();
+    let d = width - 1;
+    let mut data = Vec::with_capacity(n * d);
+    let mut y = Vec::with_capacity(n);
+    for row in rows {
+        data.extend_from_slice(&row[..d]);
+        y.push(row[d]);
+    }
+    Ok(Dataset::new(
+        Matrix::from_vec(n, d, data).expect("sized exactly"),
+        Vector::from_vec(y),
+    ))
+}
+
+/// Reads a dataset from a CSV file on disk.
+pub fn read_dataset_path(path: &Path) -> Result<Dataset, CsvError> {
+    read_dataset(std::fs::File::open(path)?)
+}
+
+/// Writes a dataset as CSV (`x₁,…,x_d,y` per row, header `f0..f{d-1},target`).
+pub fn write_dataset<W: Write>(ds: &Dataset, mut writer: W) -> Result<(), CsvError> {
+    let header: Vec<String> = (0..ds.d())
+        .map(|j| format!("f{j}"))
+        .chain(std::iter::once("target".to_string()))
+        .collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for i in 0..ds.n() {
+        let (x, y) = ds.example(i);
+        let mut line = String::with_capacity(16 * (ds.d() + 1));
+        for v in x {
+            line.push_str(&format!("{v}"));
+            line.push(',');
+        }
+        line.push_str(&format!("{y}"));
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let ds = Dataset::new(
+            Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
+            Vector::from_vec(vec![0.5, -0.5]),
+        );
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let back = read_dataset(&buf[..]).unwrap();
+        assert_eq!(back.x, ds.x);
+        assert_eq!(back.y, ds.y);
+    }
+
+    #[test]
+    fn header_is_skipped() {
+        let text = "a,b,y\n1,2,3\n4,5,6\n";
+        let ds = read_dataset(text.as_bytes()).unwrap();
+        assert_eq!(ds.n(), 2);
+        assert_eq!(ds.d(), 2);
+        assert_eq!(ds.y.as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn bad_number_mid_file_errors() {
+        let text = "1,2,3\n4,oops,6\n";
+        match read_dataset(text.as_bytes()) {
+            Err(CsvError::BadNumber { line: 2, cell }) => assert_eq!(cell, "oops"),
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_row_errors() {
+        let text = "1,2,3\n4,5\n";
+        assert!(matches!(
+            read_dataset(text.as_bytes()),
+            Err(CsvError::RaggedRow {
+                line: 2,
+                expected: 3,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(matches!(read_dataset("".as_bytes()), Err(CsvError::Empty)));
+        assert!(matches!(
+            read_dataset("just,a,header\n".as_bytes()),
+            Err(CsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn single_column_rejected() {
+        assert!(read_dataset("1\n2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let text = "\n1,2,3\n\n4,5,6\n\n";
+        let ds = read_dataset(text.as_bytes()).unwrap();
+        assert_eq!(ds.n(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Relational dataset substrate for the MBP marketplace.
+//!
+//! The seller's asset in the paper is a relational dataset `D = (D_train,
+//! D_test)` of labeled examples `(x, y)` (Section 3.1). This crate provides:
+//!
+//! * [`Dataset`] / [`TrainTest`] — the in-memory table of examples and the
+//!   paper's 75/25 train/test split, with seeded shuffling and feature
+//!   standardization;
+//! * [`synth`] — synthetic generators, including the paper's `Simulated1`
+//!   (regression) and `Simulated2` (classification) processes and
+//!   shape-matched stand-ins for the UCI datasets of Table 3;
+//! * [`catalog`] — the Table 3 catalog: per-dataset task, paper sizes, and
+//!   our scaled default sizes, with a single [`catalog::load`] entry point;
+//! * [`csv`] — a minimal CSV reader/writer so buyers can bring real tables;
+//! * [`stats`] — listing summaries and k-fold splits;
+//! * [`sparse`] — sparse datasets for the Example 3 embedding workloads;
+//! * [`relation`] — named-column tables with project/filter/join, feeding
+//!   the "ML over relational data" flow of Figure 1.
+//!
+//! # Substitution note
+//! The paper evaluates on UCI datasets (YearMSD, CASP, CovType, SUSY) that we
+//! do not redistribute. The generators in [`synth`] reproduce each dataset's
+//! *shape* — task, feature count, and a comparable label process — which is
+//! all that Figures 6–10 exercise (they depend on convexity/monotonicity of
+//! errors under isotropic noise, not on the exact rows). See DESIGN.md §4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod csv;
+mod dataset;
+pub mod relation;
+pub mod sparse;
+pub mod stats;
+pub mod synth;
+
+pub use dataset::{Dataset, Standardizer, TrainTest};

@@ -1,0 +1,387 @@
+//! A minimal relational layer: named-column tables feeding the market.
+//!
+//! The paper prices "machine learning over relational data" (title &
+//! Section 1): sellers hold relations (Bloomberg feeds, GNIP audiences),
+//! buyers pick a schema — features and a target — and the broker trains on
+//! the resulting projection. [`Relation`] provides exactly the operations
+//! that flow needs: typed named columns, selection, projection, equi-join,
+//! and conversion to a trainable [`Dataset`].
+//!
+//! Feature *selection across listings* is deliberately not supported: the
+//! paper's Section 3.4 shows that arbitrage-freeness across different
+//! feature sets is an open problem, so each listing fixes one feature set
+//! and the market prices only noise levels within it.
+
+use crate::Dataset;
+use mbp_linalg::{Matrix, Vector};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from relational operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationError {
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// Two columns with the same name would result.
+    DuplicateColumn(String),
+    /// Column lengths disagree.
+    Ragged {
+        /// Expected length.
+        expected: usize,
+        /// Observed length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            RelationError::DuplicateColumn(c) => write!(f, "duplicate column {c:?}"),
+            RelationError::Ragged { expected, got } => {
+                write!(f, "ragged column: expected {expected} rows, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+/// A named-column table of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    names: Vec<String>,
+    /// Column-major storage: `columns[j][i]` is row `i` of column `j`.
+    columns: Vec<Vec<f64>>,
+}
+
+impl Relation {
+    /// Builds a relation from `(name, column)` pairs.
+    pub fn new(cols: Vec<(&str, Vec<f64>)>) -> Result<Self, RelationError> {
+        let mut names = Vec::with_capacity(cols.len());
+        let mut columns = Vec::with_capacity(cols.len());
+        let n = cols.first().map_or(0, |(_, c)| c.len());
+        for (name, col) in cols {
+            if names.iter().any(|x: &String| x == name) {
+                return Err(RelationError::DuplicateColumn(name.to_string()));
+            }
+            if col.len() != n {
+                return Err(RelationError::Ragged {
+                    expected: n,
+                    got: col.len(),
+                });
+            }
+            names.push(name.to_string());
+            columns.push(col);
+        }
+        Ok(Relation { names, columns })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Column names in order.
+    pub fn schema(&self) -> &[String] {
+        &self.names
+    }
+
+    fn col_index(&self, name: &str) -> Result<usize, RelationError> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| RelationError::UnknownColumn(name.to_string()))
+    }
+
+    /// Borrows a column by name.
+    pub fn column(&self, name: &str) -> Result<&[f64], RelationError> {
+        Ok(&self.columns[self.col_index(name)?])
+    }
+
+    /// Projection: keeps the named columns, in the given order.
+    pub fn project(&self, keep: &[&str]) -> Result<Relation, RelationError> {
+        let mut names = Vec::with_capacity(keep.len());
+        let mut columns = Vec::with_capacity(keep.len());
+        for &name in keep {
+            if names.iter().any(|x: &String| x == name) {
+                return Err(RelationError::DuplicateColumn(name.to_string()));
+            }
+            let j = self.col_index(name)?;
+            names.push(name.to_string());
+            columns.push(self.columns[j].clone());
+        }
+        Ok(Relation { names, columns })
+    }
+
+    /// Selection: keeps rows where `predicate(column value)` holds on the
+    /// named column.
+    pub fn filter(
+        &self,
+        column: &str,
+        predicate: impl Fn(f64) -> bool,
+    ) -> Result<Relation, RelationError> {
+        let j = self.col_index(column)?;
+        let keep: Vec<usize> = self.columns[j]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| predicate(v))
+            .map(|(i, _)| i)
+            .collect();
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| keep.iter().map(|&i| col[i]).collect())
+            .collect();
+        Ok(Relation {
+            names: self.names.clone(),
+            columns,
+        })
+    }
+
+    /// Inner equi-join on the named key columns. Right-side non-key columns
+    /// are appended; a duplicate non-key name is an error. Keys are matched
+    /// by exact `f64` bit value (keys are identifiers, not measurements).
+    pub fn join(
+        &self,
+        other: &Relation,
+        self_key: &str,
+        other_key: &str,
+    ) -> Result<Relation, RelationError> {
+        let lk = self.col_index(self_key)?;
+        let rk = other.col_index(other_key)?;
+        // Right-side lookup: key bits → row indices.
+        let mut lookup: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, &v) in other.columns[rk].iter().enumerate() {
+            lookup.entry(v.to_bits()).or_default().push(i);
+        }
+        // Output schema: all left columns + right non-key columns.
+        let mut names = self.names.clone();
+        let mut right_cols: Vec<usize> = Vec::new();
+        for (j, name) in other.names.iter().enumerate() {
+            if j == rk {
+                continue;
+            }
+            if names.iter().any(|x| x == name) {
+                return Err(RelationError::DuplicateColumn(name.clone()));
+            }
+            names.push(name.clone());
+            right_cols.push(j);
+        }
+        let mut columns: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+        for li in 0..self.n_rows() {
+            let key = self.columns[lk][li].to_bits();
+            let Some(matches) = lookup.get(&key) else {
+                continue;
+            };
+            for &ri in matches {
+                for (j, col) in self.columns.iter().enumerate() {
+                    columns[j].push(col[li]);
+                }
+                for (out_j, &rj) in right_cols.iter().enumerate() {
+                    columns[self.columns.len() + out_j].push(other.columns[rj][ri]);
+                }
+            }
+        }
+        Ok(Relation { names, columns })
+    }
+
+    /// Materializes a trainable dataset from named feature columns and a
+    /// target column — the buyer's schema choice in Figure 1.
+    pub fn to_dataset(&self, features: &[&str], target: &str) -> Result<Dataset, RelationError> {
+        let feat_idx: Vec<usize> = features
+            .iter()
+            .map(|&f| self.col_index(f))
+            .collect::<Result<_, _>>()?;
+        let t = self.col_index(target)?;
+        let n = self.n_rows();
+        let d = feat_idx.len();
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            for &j in &feat_idx {
+                data.push(self.columns[j][i]);
+            }
+        }
+        Ok(Dataset::new(
+            Matrix::from_vec(n, d, data).expect("sized exactly"),
+            Vector::from_vec(self.columns[t].clone()),
+        ))
+    }
+}
+
+/// Reads a relation from headered CSV: the first row names the columns,
+/// every later row is numeric.
+pub fn read_relation<R: std::io::Read>(reader: R) -> Result<Relation, crate::csv::CsvError> {
+    use std::io::BufRead;
+    let buf = std::io::BufReader::new(reader);
+    let mut lines = buf.lines();
+    let header = loop {
+        match lines.next() {
+            None => return Err(crate::csv::CsvError::Empty),
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+        }
+    };
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != names.len() {
+            return Err(crate::csv::CsvError::RaggedRow {
+                line: i + 2,
+                expected: names.len(),
+                got: cells.len(),
+            });
+        }
+        for (col, cell) in columns.iter_mut().zip(&cells) {
+            let v: f64 = cell.parse().map_err(|_| crate::csv::CsvError::BadNumber {
+                line: i + 2,
+                cell: (*cell).to_string(),
+            })?;
+            col.push(v);
+        }
+    }
+    let pairs: Vec<(&str, Vec<f64>)> = names.iter().map(String::as_str).zip(columns).collect();
+    Relation::new(pairs).map_err(|e| match e {
+        RelationError::DuplicateColumn(c) => crate::csv::CsvError::BadNumber {
+            line: 1,
+            cell: format!("duplicate column name {c:?}"),
+        },
+        other => crate::csv::CsvError::BadNumber {
+            line: 1,
+            cell: other.to_string(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Relation {
+        Relation::new(vec![
+            ("id", vec![1.0, 2.0, 3.0, 4.0]),
+            ("age", vec![34.0, 28.0, 45.0, 52.0]),
+            ("height", vec![1.7, 1.8, 1.6, 1.75]),
+        ])
+        .unwrap()
+    }
+
+    fn incomes() -> Relation {
+        Relation::new(vec![
+            ("person", vec![2.0, 3.0, 4.0, 9.0]),
+            ("income", vec![52_000.0, 61_000.0, 48_000.0, 99_000.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            Relation::new(vec![("a", vec![1.0]), ("a", vec![2.0])]),
+            Err(RelationError::DuplicateColumn(_))
+        ));
+        assert!(matches!(
+            Relation::new(vec![("a", vec![1.0]), ("b", vec![])]),
+            Err(RelationError::Ragged {
+                expected: 1,
+                got: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn project_and_filter() {
+        let r = people();
+        let p = r.project(&["age", "id"]).unwrap();
+        assert_eq!(p.schema(), &["age".to_string(), "id".to_string()]);
+        assert_eq!(p.column("age").unwrap(), &[34.0, 28.0, 45.0, 52.0]);
+        let f = r.filter("age", |a| a >= 40.0).unwrap();
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(f.column("id").unwrap(), &[3.0, 4.0]);
+        assert!(r.project(&["nope"]).is_err());
+        assert!(r.filter("nope", |_| true).is_err());
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let joined = people().join(&incomes(), "id", "person").unwrap();
+        // ids 2, 3, 4 match; 1 and 9 don't.
+        assert_eq!(joined.n_rows(), 3);
+        assert_eq!(
+            joined.schema(),
+            &["id", "age", "height", "income"].map(String::from)
+        );
+        assert_eq!(
+            joined.column("income").unwrap(),
+            &[52_000.0, 61_000.0, 48_000.0]
+        );
+        assert_eq!(joined.column("age").unwrap(), &[28.0, 45.0, 52.0]);
+    }
+
+    #[test]
+    fn join_duplicate_non_key_rejected() {
+        let left = people();
+        let right = Relation::new(vec![
+            ("person", vec![1.0]),
+            ("age", vec![99.0]), // clashes with left's age
+        ])
+        .unwrap();
+        assert!(matches!(
+            left.join(&right, "id", "person"),
+            Err(RelationError::DuplicateColumn(_))
+        ));
+    }
+
+    #[test]
+    fn join_handles_duplicate_keys_as_cross_product() {
+        let left = Relation::new(vec![("k", vec![1.0, 1.0]), ("a", vec![10.0, 20.0])]).unwrap();
+        let right = Relation::new(vec![("k", vec![1.0, 1.0]), ("b", vec![7.0, 8.0])]).unwrap();
+        let j = left.join(&right, "k", "k").unwrap();
+        assert_eq!(j.n_rows(), 4);
+    }
+
+    #[test]
+    fn to_dataset_selects_schema() {
+        let joined = people().join(&incomes(), "id", "person").unwrap();
+        let ds = joined.to_dataset(&["age", "height"], "income").unwrap();
+        assert_eq!(ds.n(), 3);
+        assert_eq!(ds.d(), 2);
+        assert_eq!(ds.x.row(0), &[28.0, 1.8]);
+        assert_eq!(ds.y.as_slice(), &[52_000.0, 61_000.0, 48_000.0]);
+        assert!(joined.to_dataset(&["age"], "nope").is_err());
+    }
+
+    #[test]
+    fn read_relation_from_headered_csv() {
+        let text = "id,age,income\n1,34,52000\n2,28,61000\n";
+        let r = read_relation(text.as_bytes()).unwrap();
+        assert_eq!(r.schema(), &["id", "age", "income"].map(String::from));
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.column("age").unwrap(), &[34.0, 28.0]);
+        // Malformed inputs surface line-accurate errors.
+        assert!(read_relation("".as_bytes()).is_err());
+        assert!(read_relation("a,b\n1\n".as_bytes()).is_err());
+        assert!(read_relation("a,b\n1,x\n".as_bytes()).is_err());
+        assert!(read_relation("a,a\n1,2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_join_produces_empty_relation() {
+        let left = people();
+        let right = Relation::new(vec![("person", vec![77.0]), ("income", vec![1.0])]).unwrap();
+        let j = left.join(&right, "id", "person").unwrap();
+        assert_eq!(j.n_rows(), 0);
+        let ds = j.to_dataset(&["age"], "income").unwrap();
+        assert_eq!(ds.n(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Sparse datasets for high-dimensional embedding workloads.
+//!
+//! The paper's Example 3: "a standard word embedding approach that maps
+//! each Twitter message to a (sparse) vector in a high dimensional space
+//! `R^d`". This module provides the sparse counterpart of [`Dataset`]: rows
+//! are [`SparseVector`]s, hypotheses stay dense. The generator synthesizes
+//! hashed bag-of-words messages with a topic signal, standing in for the
+//! GNIP feed the paper licenses (see DESIGN.md §4).
+
+use crate::Dataset;
+use mbp_linalg::{Matrix, SparseVector, Vector};
+use mbp_randx::{Distribution, MbpRng, StandardNormal};
+use rand::Rng;
+
+/// A sparse labeled dataset: one [`SparseVector`] per example.
+#[derive(Debug, Clone)]
+pub struct SparseDataset {
+    dim: usize,
+    rows: Vec<SparseVector>,
+    /// Targets (`{−1, +1}` for classification).
+    pub y: Vector,
+}
+
+impl SparseDataset {
+    /// Creates a sparse dataset, validating row dimensions.
+    ///
+    /// # Panics
+    /// Panics on ragged input (row dim ≠ `dim`, or `rows.len() ≠ y.len()`).
+    pub fn new(dim: usize, rows: Vec<SparseVector>, y: Vector) -> Self {
+        assert_eq!(rows.len(), y.len(), "rows and targets must align");
+        assert!(
+            rows.iter().all(|r| r.dim() == dim),
+            "all rows must share the ambient dimension"
+        );
+        SparseDataset { dim, rows, y }
+    }
+
+    /// Number of examples.
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Ambient feature dimension `d`.
+    pub fn d(&self) -> usize {
+        self.dim
+    }
+
+    /// The example at `i` as `(sparse features, target)`.
+    pub fn example(&self, i: usize) -> (&SparseVector, f64) {
+        (&self.rows[i], self.y[i])
+    }
+
+    /// Average non-zeros per row.
+    pub fn avg_nnz(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(SparseVector::nnz).sum::<usize>() as f64 / self.rows.len() as f64
+    }
+
+    /// Densifies into a [`Dataset`] (for cross-checking against the dense
+    /// trainers on small instances; defeats the purpose at scale).
+    pub fn to_dense(&self) -> Dataset {
+        let mut data = Vec::with_capacity(self.n() * self.dim);
+        for r in &self.rows {
+            data.extend_from_slice(r.to_dense().as_slice());
+        }
+        Dataset::new(
+            Matrix::from_vec(self.n(), self.dim, data).expect("sized exactly"),
+            self.y.clone(),
+        )
+    }
+
+    /// Splits into train/test with a seeded shuffle.
+    ///
+    /// # Panics
+    /// Panics unless `0 < train_frac < 1`.
+    pub fn split(&self, train_frac: f64, rng: &mut MbpRng) -> (SparseDataset, SparseDataset) {
+        assert!(
+            train_frac > 0.0 && train_frac < 1.0,
+            "train_frac must be in (0, 1)"
+        );
+        use rand::seq::SliceRandom;
+        let mut idx: Vec<usize> = (0..self.n()).collect();
+        idx.shuffle(rng);
+        let n_train = ((self.n() as f64) * train_frac).round() as usize;
+        let n_train = n_train.clamp(1, self.n().saturating_sub(1).max(1));
+        let take = |ids: &[usize]| {
+            SparseDataset::new(
+                self.dim,
+                ids.iter().map(|&i| self.rows[i].clone()).collect(),
+                ids.iter().map(|&i| self.y[i]).collect(),
+            )
+        };
+        let (tr, te) = idx.split_at(n_train.min(self.n()));
+        (take(tr), take(te))
+    }
+}
+
+/// Synthesizes hashed bag-of-words "messages" with a linear topic signal:
+/// each message activates `nnz` of `d` hashed token buckets with positive
+/// weights; a hidden subset of tokens is "about the company", and the label
+/// is `+1` with high probability when enough of them fire.
+///
+/// # Panics
+/// Panics when `nnz` is zero or exceeds `d`, or `label_noise ∉ [0, 0.5)`.
+pub fn sparse_text_standin(
+    n: usize,
+    d: usize,
+    nnz: usize,
+    label_noise: f64,
+    rng: &mut MbpRng,
+) -> SparseDataset {
+    assert!(nnz > 0 && nnz <= d, "need 0 < nnz <= d");
+    assert!(
+        (0.0..0.5).contains(&label_noise),
+        "label_noise must be in [0, 0.5)"
+    );
+    // A hidden dense topic direction over token buckets; only its sign
+    // pattern matters for which tokens are "about the company".
+    let topic: Vec<f64> = (0..d).map(|_| StandardNormal.sample(rng)).collect();
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Sample nnz distinct buckets (rejection; nnz << d in practice).
+        let mut idx: Vec<u32> = Vec::with_capacity(nnz);
+        while idx.len() < nnz {
+            let i = rng.gen_range(0..d as u32);
+            if !idx.contains(&i) {
+                idx.push(i);
+            }
+        }
+        let entries: Vec<(u32, f64)> = idx
+            .into_iter()
+            .map(|i| (i, 1.0 + rng.gen_range(0.0..1.0))) // tf-style weight
+            .collect();
+        let score: f64 = entries.iter().map(|&(i, v)| v * topic[i as usize]).sum();
+        let clean = if score > 0.0 { 1.0 } else { -1.0 };
+        let flip = rng.gen_bool(label_noise);
+        y.push(if flip { -clean } else { clean });
+        rows.push(SparseVector::new(d, entries).expect("valid construction"));
+    }
+    SparseDataset::new(d, rows, Vector::from_vec(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbp_randx::seeded_rng;
+
+    #[test]
+    fn generator_shapes() {
+        let mut rng = seeded_rng(51);
+        let ds = sparse_text_standin(200, 1000, 12, 0.05, &mut rng);
+        assert_eq!(ds.n(), 200);
+        assert_eq!(ds.d(), 1000);
+        assert!((ds.avg_nnz() - 12.0).abs() < 1e-9);
+        assert!(ds.y.as_slice().iter().all(|&v| v.abs() == 1.0));
+    }
+
+    #[test]
+    fn densify_roundtrip() {
+        let mut rng = seeded_rng(52);
+        let ds = sparse_text_standin(20, 30, 5, 0.0, &mut rng);
+        let dense = ds.to_dense();
+        assert_eq!(dense.n(), 20);
+        for i in 0..20 {
+            let (sp, ys) = ds.example(i);
+            let (row, yd) = dense.example(i);
+            assert_eq!(ys, yd);
+            let nnz_dense = row.iter().filter(|&&v| v != 0.0).count();
+            assert_eq!(nnz_dense, sp.nnz());
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let mut rng = seeded_rng(53);
+        let ds = sparse_text_standin(100, 50, 4, 0.1, &mut rng);
+        let (tr, te) = ds.split(0.8, &mut rng);
+        assert_eq!(tr.n() + te.n(), 100);
+        assert_eq!(tr.n(), 80);
+        assert_eq!(tr.d(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "nnz")]
+    fn generator_rejects_oversized_nnz() {
+        sparse_text_standin(5, 3, 4, 0.0, &mut seeded_rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn ragged_rejected() {
+        SparseDataset::new(3, vec![], Vector::zeros(1));
+    }
+}

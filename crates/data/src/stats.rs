@@ -1,0 +1,175 @@
+//! Dataset summaries and k-fold splitting.
+//!
+//! Sellers describe listings with summary statistics (buyers decide what to
+//! buy without seeing rows), and brokers validate model quality with cross
+//! validation before putting a model type on the menu.
+
+use crate::Dataset;
+use mbp_randx::MbpRng;
+use rand::seq::SliceRandom;
+
+/// Per-column summary of a dataset's features and target.
+#[derive(Debug, Clone)]
+pub struct DatasetSummary {
+    /// Number of examples.
+    pub n: usize,
+    /// Number of features.
+    pub d: usize,
+    /// Per-feature means.
+    pub feature_means: Vec<f64>,
+    /// Per-feature standard deviations.
+    pub feature_sds: Vec<f64>,
+    /// Target mean.
+    pub target_mean: f64,
+    /// Target standard deviation.
+    pub target_sd: f64,
+    /// Fraction of `+1` targets when the target is a `{−1, +1}` label;
+    /// `None` for non-binary targets.
+    pub positive_rate: Option<f64>,
+}
+
+/// Computes a [`DatasetSummary`].
+pub fn summarize(ds: &Dataset) -> DatasetSummary {
+    let n = ds.n();
+    let d = ds.d();
+    let nf = n.max(1) as f64;
+    let mut means = vec![0.0; d];
+    for i in 0..n {
+        for (m, v) in means.iter_mut().zip(ds.x.row(i)) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= nf;
+    }
+    let mut vars = vec![0.0; d];
+    for i in 0..n {
+        for ((v, m), x) in vars.iter_mut().zip(&means).zip(ds.x.row(i)) {
+            let c = x - m;
+            *v += c * c;
+        }
+    }
+    let sds: Vec<f64> = vars.into_iter().map(|v| (v / nf).sqrt()).collect();
+    let target_mean = ds.y.mean();
+    let target_sd =
+        ds.y.map(|v| (v - target_mean) * (v - target_mean))
+            .mean()
+            .sqrt();
+    let binary = ds.y.as_slice().iter().all(|&v| v == 1.0 || v == -1.0);
+    let positive_rate =
+        (binary && n > 0).then(|| ds.y.as_slice().iter().filter(|&&v| v > 0.0).count() as f64 / nf);
+    DatasetSummary {
+        n,
+        d,
+        feature_means: means,
+        feature_sds: sds,
+        target_mean,
+        target_sd,
+        positive_rate,
+    }
+}
+
+/// One fold of a k-fold split.
+#[derive(Debug, Clone)]
+pub struct Fold {
+    /// Training portion (all rows outside the fold).
+    pub train: Dataset,
+    /// Validation portion (the fold itself).
+    pub validation: Dataset,
+}
+
+/// Splits `ds` into `k` folds after a seeded shuffle. Fold sizes differ by
+/// at most one row; every row appears in exactly one validation set.
+///
+/// # Panics
+/// Panics unless `2 ≤ k ≤ n`.
+pub fn kfold(ds: &Dataset, k: usize, rng: &mut MbpRng) -> Vec<Fold> {
+    let n = ds.n();
+    assert!(k >= 2 && k <= n, "need 2 <= k <= n (k = {k}, n = {n})");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let val_idx = &idx[start..start + size];
+        let train_idx: Vec<usize> = idx[..start]
+            .iter()
+            .chain(&idx[start + size..])
+            .copied()
+            .collect();
+        folds.push(Fold {
+            train: ds.select(&train_idx),
+            validation: ds.select(val_idx),
+        });
+        start += size;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbp_linalg::{Matrix, Vector};
+    use mbp_randx::seeded_rng;
+
+    fn toy(n: usize) -> Dataset {
+        let x = Matrix::from_fn(n, 2, |i, j| (i + j) as f64);
+        let y = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn summary_basics() {
+        let ds = toy(10);
+        let s = summarize(&ds);
+        assert_eq!(s.n, 10);
+        assert_eq!(s.d, 2);
+        assert!((s.feature_means[0] - 4.5).abs() < 1e-12);
+        assert!((s.feature_means[1] - 5.5).abs() < 1e-12);
+        assert_eq!(s.positive_rate, Some(0.5));
+        assert!((s.target_mean - 0.0).abs() < 1e-12);
+        assert!((s.target_sd - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_non_binary_has_no_positive_rate() {
+        let x = Matrix::zeros(3, 1);
+        let y = Vector::from_vec(vec![0.5, 1.0, 2.0]);
+        let s = summarize(&Dataset::new(x, y));
+        assert_eq!(s.positive_rate, None);
+    }
+
+    #[test]
+    fn kfold_partitions_exactly() {
+        let ds = toy(23);
+        let mut rng = seeded_rng(5);
+        let folds = kfold(&ds, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let total_val: usize = folds.iter().map(|f| f.validation.n()).sum();
+        assert_eq!(total_val, 23);
+        for f in &folds {
+            assert_eq!(f.train.n() + f.validation.n(), 23);
+            // Sizes differ by at most one.
+            assert!((4..=5).contains(&f.validation.n()));
+        }
+    }
+
+    #[test]
+    fn kfold_is_deterministic() {
+        let ds = toy(12);
+        let a = kfold(&ds, 3, &mut seeded_rng(1));
+        let b = kfold(&ds, 3, &mut seeded_rng(1));
+        assert_eq!(a[0].validation.y.as_slice(), b[0].validation.y.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "2 <= k <= n")]
+    fn kfold_rejects_k_of_one() {
+        kfold(&toy(5), 1, &mut seeded_rng(0));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the dataset substrate.
+
+use mbp_data::stats::{kfold, summarize};
+use mbp_data::{csv, Dataset, Standardizer};
+use mbp_linalg::{Matrix, Vector};
+use mbp_randx::seeded_rng;
+use proptest::prelude::*;
+
+fn dataset(xs: &[f64], ys: &[f64], d: usize) -> Dataset {
+    let n = ys.len().min(xs.len() / d).max(1);
+    let x = Matrix::from_vec(n, d, xs[..n * d].to_vec()).unwrap();
+    let y = Vector::from_vec(ys[..n].to_vec());
+    Dataset::new(x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Train/test split is an exact partition: every row appears exactly
+    /// once across the two splits, with the requested proportions.
+    #[test]
+    fn split_partitions(
+        xs in prop::collection::vec(-5.0..5.0f64, 20..80),
+        frac in 0.1..0.9f64,
+        seed in 0u64..1000,
+    ) {
+        let d = 2;
+        let n = xs.len() / d;
+        prop_assume!(n >= 4);
+        // Unique targets so rows are identifiable.
+        let ys: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ds = dataset(&xs, &ys, d);
+        let tt = ds.split(frac, &mut seeded_rng(seed));
+        let mut seen: Vec<f64> = tt
+            .train
+            .y
+            .as_slice()
+            .iter()
+            .chain(tt.test.y.as_slice())
+            .copied()
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(seen, ys);
+        let expected_train = ((n as f64) * frac).round() as usize;
+        prop_assert!(tt.train.n().abs_diff(expected_train) <= 1);
+    }
+
+    /// Standardization is idempotent: standardizing an already-standardized
+    /// dataset changes nothing (within float noise).
+    #[test]
+    fn standardizer_idempotent(xs in prop::collection::vec(-5.0..5.0f64, 20..60)) {
+        let d = 2;
+        let n = xs.len() / d;
+        prop_assume!(n >= 5);
+        let ys = vec![0.0; n];
+        let ds = dataset(&xs, &ys, d);
+        let once = Standardizer::fit(&ds).apply(&ds);
+        let twice = Standardizer::fit(&once).apply(&once);
+        for (a, b) in once.x.as_slice().iter().zip(twice.x.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    /// CSV round-trip preserves every value exactly (f64 Display is
+    /// shortest-roundtrip in Rust).
+    #[test]
+    fn csv_roundtrip_exact(
+        xs in prop::collection::vec(-1e6..1e6f64, 4..40),
+        ys in prop::collection::vec(-1e6..1e6f64, 2..20),
+    ) {
+        let d = 2;
+        let ds = dataset(&xs, &ys, d);
+        let mut buf = Vec::new();
+        csv::write_dataset(&ds, &mut buf).unwrap();
+        let back = csv::read_dataset(&buf[..]).unwrap();
+        prop_assert_eq!(back.x.as_slice(), ds.x.as_slice());
+        prop_assert_eq!(back.y.as_slice(), ds.y.as_slice());
+    }
+
+    /// k-fold covers every row exactly once across validation folds, and
+    /// the summary of the whole equals the demand-weighted recombination.
+    #[test]
+    fn kfold_is_exact_cover(
+        n in 6usize..40,
+        k in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(k <= n);
+        let xs: Vec<f64> = (0..n * 2).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ds = dataset(&xs, &ys, 2);
+        let folds = kfold(&ds, k, &mut seeded_rng(seed));
+        prop_assert_eq!(folds.len(), k);
+        let mut val_rows: Vec<f64> = folds
+            .iter()
+            .flat_map(|f| f.validation.y.as_slice().iter().copied())
+            .collect();
+        val_rows.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(val_rows, ys);
+        for f in &folds {
+            prop_assert_eq!(f.train.n() + f.validation.n(), n);
+        }
+    }
+
+    /// Summary statistics match direct computation.
+    #[test]
+    fn summary_matches_direct(
+        xs in prop::collection::vec(-10.0..10.0f64, 10..60),
+    ) {
+        let d = 2;
+        let n = xs.len() / d;
+        prop_assume!(n >= 3);
+        let ys: Vec<f64> = (0..n).map(|i| (i % 2) as f64 * 2.0 - 1.0).collect();
+        let ds = dataset(&xs, &ys, d);
+        let s = summarize(&ds);
+        prop_assert_eq!(s.n, n);
+        let direct_mean: f64 = (0..n).map(|i| ds.x.get(i, 0)).sum::<f64>() / n as f64;
+        prop_assert!((s.feature_means[0] - direct_mean).abs() < 1e-9);
+        // Labels alternate ±1.
+        let pos = ys.iter().filter(|&&v| v > 0.0).count() as f64 / n as f64;
+        prop_assert_eq!(s.positive_rate, Some(pos));
+    }
+}

@@ -1,0 +1,189 @@
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive definite matrix.
+///
+/// This is the workhorse behind closed-form ridge regression
+/// (`(XᵀX + μI) w = Xᵀy`) and the Newton steps of the logistic trainer. The
+/// factorization fails fast with [`LinalgError::NotPositiveDefinite`] when a
+/// pivot drops below a small positive floor, which in practice signals a
+/// singular Gram matrix (duplicate features) or a missing ridge term.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely (upper triangle is zero).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Minimum admissible pivot; below this the matrix is treated as
+    /// numerically indefinite.
+    const PIVOT_FLOOR: f64 = 1e-12;
+
+    /// Factorizes `a`, which must be square and symmetric positive definite.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (r, c) = a.shape();
+        if r != c {
+            return Err(LinalgError::NotSquare { shape: (r, c) });
+        }
+        let n = r;
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut sum = a.get(j, j);
+            for k in 0..j {
+                let ljk = l.get(j, k);
+                sum -= ljk * ljk;
+            }
+            if sum <= Self::PIVOT_FLOOR {
+                return Err(LinalgError::NotPositiveDefinite {
+                    pivot: j,
+                    value: sum,
+                });
+            }
+            let ljj = sum.sqrt();
+            l.set(j, j, ljj);
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a.get(i, j);
+                for k in 0..j {
+                    s -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, s / ljj);
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` via `L y = b` then `Lᵀ x = y`.
+    // Indexed loops: each statement reads one matrix and one vector at
+    // mixed offsets; iterators obscure the triangular access pattern.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky_solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l.get(i, k) * y[k];
+            }
+            y[i] = s / self.l.get(i, i);
+        }
+        // Backward substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l.get(k, i) * x[k];
+            }
+            x[i] = s / self.l.get(i, i);
+        }
+        Ok(Vector::from_vec(x))
+    }
+
+    /// Log-determinant of `A`: `2 Σ log Lᵢᵢ`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+
+    /// Reconstructs `L Lᵀ` (mainly for tests and diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        let lt = self.l.transpose();
+        self.l.matmul(&lt).expect("square factors always multiply")
+    }
+}
+
+/// Solves the SPD system `A x = b` in one call.
+///
+/// Convenience wrapper over [`Cholesky::factor`] + [`Cholesky::solve`].
+pub fn solve_spd(a: &Matrix, b: &Vector) -> Result<Vector> {
+    Cholesky::factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I for B = [[1,2,0],[0,1,1],[1,0,1]] — guaranteed SPD.
+        let b = Matrix::from_vec(3, 3, vec![1.0, 2.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0]).unwrap();
+        let mut a = b.gram();
+        a.add_diagonal(1.0).unwrap();
+        a
+    }
+
+    #[test]
+    fn factor_roundtrip() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let r = ch.reconstruct();
+        for (x, y) in a.as_slice().iter().zip(r.as_slice()) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = Vector::from_vec(vec![1.0, -2.0, 0.5]);
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve_spd(&a, &b).unwrap();
+        for (xi, ti) in x.as_slice().iter().zip(x_true.as_slice()) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_checks_rhs_len() {
+        let ch = Cholesky::factor(&spd3()).unwrap();
+        assert!(ch.solve(&Vector::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        assert!(ch.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_of_scaled_identity() {
+        let mut a = Matrix::identity(3);
+        a.add_diagonal(1.0).unwrap(); // A = 2I, det = 8
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - 8.0_f64.ln()).abs() < 1e-12);
+    }
+}

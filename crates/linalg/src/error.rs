@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+///
+/// All routines validate shapes eagerly and fail with a descriptive variant
+/// instead of panicking, so callers higher in the stack (trainers, the
+/// broker) can surface broken inputs as market-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`; vectors use `(len, 1)`.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// A factorization required a symmetric positive definite input and the
+    /// pivot at the reported index was not strictly positive.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+        /// Value of the failing pivot.
+        value: f64,
+    },
+    /// A routine that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Observed shape.
+        shape: (usize, usize),
+    },
+    /// An index was out of bounds for the container.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Length (or dimension size) of the container.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite: pivot {pivot} has value {value:e}"
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "expected a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matvec",
+            left: (3, 4),
+            right: (5, 1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matvec"));
+        assert!(s.contains("3x4"));
+        assert!(s.contains("5x1"));
+    }
+
+    #[test]
+    fn not_positive_definite_mentions_pivot() {
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 2,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("pivot 2"));
+    }
+}

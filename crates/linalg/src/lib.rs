@@ -1,0 +1,36 @@
+//! Dense linear algebra substrate for the model-based pricing (MBP) stack.
+//!
+//! The MBP paper's prototype leaned on MATLAB's matrix core; this crate
+//! rebuilds the pieces the rest of the workspace needs from scratch:
+//!
+//! * [`Vector`] — an owned dense `f64` vector with the BLAS-1 style kernels
+//!   used by the trainers (dot, axpy, norms, elementwise maps);
+//! * [`Matrix`] — a row-major dense matrix with matrix–vector and
+//!   matrix–matrix products, Gram matrices (`XᵀX`), and transpose products;
+//! * [`Cholesky`] — an `LLᵀ` factorization of symmetric positive definite
+//!   matrices with forward/backward substitution, used for closed-form ridge
+//!   regression and Newton steps;
+//! * [`SparseVector`] — sorted-pairs sparse rows for the high-dimensional
+//!   embedding workloads of the paper's Example 3.
+//!
+//! Everything is `f64`, row-major, and allocation-explicit. There is no
+//! `unsafe` anywhere in the crate; the matrices in this workload are small
+//! (`d ≤ ~100` features), so clarity wins over micro-optimized kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cholesky;
+mod error;
+mod matrix;
+mod sparse;
+mod vector;
+
+pub use cholesky::{solve_spd, Cholesky};
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use sparse::SparseVector;
+pub use vector::Vector;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

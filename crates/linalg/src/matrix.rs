@@ -1,0 +1,367 @@
+use crate::{LinalgError, Result, Vector};
+
+/// A dense row-major `f64` matrix.
+///
+/// Rows are the natural unit in this workspace (a row of the design matrix is
+/// one labeled example), so storage is row-major and [`Matrix::row`] is a
+/// cheap slice borrow. Shapes are validated on every binary operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major `data`.
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "from_vec",
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-producing closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Stacks `rows` (each of equal length) into a matrix.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != c {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "from_rows",
+                    left: (i, c),
+                    right: (i, row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable view of row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows` (callers iterate `0..rows`).
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets entry `(i, j)` to `v`.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Column `j` copied into a new [`Vector`].
+    pub fn col(&self, j: usize) -> Result<Vector> {
+        if j >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: j,
+                len: self.cols,
+            });
+        }
+        Ok((0..self.rows).map(|i| self.get(i, j)).collect())
+    }
+
+    /// Matrix–vector product `A x`.
+    pub fn matvec(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        let xs = x.as_slice();
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(xs).map(|(a, b)| a * b).sum::<f64>())
+            .collect())
+    }
+
+    /// Transposed matrix–vector product `Aᵀ x`.
+    pub fn matvec_t(&self, x: &Vector) -> Result<Vector> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_t",
+                left: (self.cols, self.rows),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, a) in out.iter_mut().zip(self.row(i)) {
+                *o += xi * a;
+            }
+        }
+        Ok(Vector::from_vec(out))
+    }
+
+    /// Matrix product `A B`.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner accesses sequential for row-major
+        // storage on both operands.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, b) in orow.iter_mut().zip(brow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy `Aᵀ`.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// The Gram matrix `AᵀA` (symmetric positive semidefinite), computed
+    /// without materializing `Aᵀ`.
+    // The inner loop reads `row` at two indices (`j` and `k`); an iterator
+    // would hide the upper-triangle structure.
+    #[allow(clippy::needless_range_loop)]
+    pub fn gram(&self) -> Matrix {
+        let d = self.cols;
+        let mut out = Matrix::zeros(d, d);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for j in 0..d {
+                let rj = row[j];
+                if rj == 0.0 {
+                    continue;
+                }
+                // Only the upper triangle; mirrored below.
+                for k in j..d {
+                    out.data[j * d + k] += rj * row[k];
+                }
+            }
+        }
+        for j in 0..d {
+            for k in (j + 1)..d {
+                out.data[k * d + j] = out.data[j * d + k];
+            }
+        }
+        out
+    }
+
+    /// Adds `c` to every diagonal entry in place (ridge term `A + c·I`).
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn add_diagonal(&mut self, c: f64) -> Result<()> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
+        }
+        for i in 0..self.rows {
+            self.data[i * self.cols + i] += c;
+        }
+        Ok(())
+    }
+
+    /// Sum of the diagonal entries.
+    ///
+    /// Returns [`LinalgError::NotSquare`] for rectangular matrices.
+    pub fn trace(&self) -> Result<f64> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
+        }
+        Ok((0..self.rows).map(|i| self.get(i, i)).sum())
+    }
+
+    /// Frobenius norm `√Σ aᵢⱼ²`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// `true` when `|aᵢⱼ − aⱼᵢ| ≤ tol` for all entries.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Immutable view of the row-major backing storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn from_vec_validates_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let a = sample();
+        let x = Vector::from_vec(vec![1.0, 0.0, -1.0]);
+        assert_eq!(a.matvec(&x).unwrap().as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let a = sample();
+        let x = Vector::from_vec(vec![1.0, 2.0]);
+        let direct = a.matvec_t(&x).unwrap();
+        let via_transpose = a.transpose().matvec(&x).unwrap();
+        assert_eq!(direct, via_transpose);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = sample();
+        let i3 = Matrix::identity(3);
+        assert_eq!(a.matmul(&i3).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_hand_checked() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn gram_equals_explicit_transpose_product() {
+        let a = sample();
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert_eq!(g, explicit);
+        assert!(g.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn add_diagonal_ridge() {
+        let mut g = Matrix::identity(2);
+        g.add_diagonal(0.5).unwrap();
+        assert_eq!(g.as_slice(), &[1.5, 0.0, 0.0, 1.5]);
+        let mut rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            rect.add_diagonal(1.0),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_and_frobenius() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(a.trace().unwrap(), 5.0);
+        assert!((a.frobenius_norm() - 30.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn col_extraction() {
+        let a = sample();
+        assert_eq!(a.col(1).unwrap().as_slice(), &[2.0, 5.0]);
+        assert!(a.col(3).is_err());
+    }
+
+    #[test]
+    fn from_rows_checks_ragged_input() {
+        assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+    }
+}

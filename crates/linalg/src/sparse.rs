@@ -1,0 +1,157 @@
+use crate::{LinalgError, Result, Vector};
+
+/// A sparse vector: sorted `(index, value)` pairs over a fixed dimension.
+///
+/// The paper's Example 3 embeds Twitter messages as sparse vectors in a
+/// high-dimensional space; hypotheses stay dense (`h ∈ R^d`), but example
+/// rows are sparse, so the kernels that matter are sparse·dense dot
+/// products and sparse-scaled accumulation into a dense gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVector {
+    dim: usize,
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVector {
+    /// Creates a sparse vector from `(index, value)` pairs.
+    ///
+    /// Entries are sorted and validated; duplicate indices are rejected,
+    /// explicit zeros are dropped.
+    pub fn new(dim: usize, mut entries: Vec<(u32, f64)>) -> Result<Self> {
+        entries.retain(|&(_, v)| v != 0.0);
+        entries.sort_by_key(|&(i, _)| i);
+        for pair in entries.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: pair[0].0 as usize,
+                    len: dim,
+                });
+            }
+        }
+        if let Some(&(last, _)) = entries.last() {
+            if last as usize >= dim {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: last as usize,
+                    len: dim,
+                });
+            }
+        }
+        for &(_, v) in &entries {
+            if !v.is_finite() {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "sparse_new",
+                    left: (dim, 1),
+                    right: (dim, 1),
+                });
+            }
+        }
+        Ok(SparseVector { dim, entries })
+    }
+
+    /// The ambient dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The stored `(index, value)` pairs, sorted by index.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Dot product with a dense vector.
+    pub fn dot_dense(&self, dense: &Vector) -> Result<f64> {
+        if dense.len() != self.dim {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse_dot",
+                left: (self.dim, 1),
+                right: (dense.len(), 1),
+            });
+        }
+        let d = dense.as_slice();
+        Ok(self.entries.iter().map(|&(i, v)| v * d[i as usize]).sum())
+    }
+
+    /// Accumulates `alpha * self` into a dense vector (`axpy`).
+    pub fn axpy_into(&self, alpha: f64, dense: &mut Vector) -> Result<()> {
+        if dense.len() != self.dim {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sparse_axpy",
+                left: (self.dim, 1),
+                right: (dense.len(), 1),
+            });
+        }
+        let d = dense.as_mut_slice();
+        for &(i, v) in &self.entries {
+            d[i as usize] += alpha * v;
+        }
+        Ok(())
+    }
+
+    /// Squared Euclidean norm of the stored entries.
+    pub fn norm2_squared(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v * v).sum()
+    }
+
+    /// Densifies into a full [`Vector`].
+    pub fn to_dense(&self) -> Vector {
+        let mut out = Vector::zeros(self.dim);
+        let s = out.as_mut_slice();
+        for &(i, v) in &self.entries {
+            s[i as usize] = v;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_drops_zeros() {
+        let v = SparseVector::new(5, vec![(3, 2.0), (1, -1.0), (4, 0.0)]).unwrap();
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.entries(), &[(1, -1.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_out_of_range() {
+        assert!(SparseVector::new(5, vec![(1, 1.0), (1, 2.0)]).is_err());
+        assert!(SparseVector::new(5, vec![(5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn dot_and_axpy_match_dense() {
+        let s = SparseVector::new(4, vec![(0, 2.0), (3, -1.0)]).unwrap();
+        let d = Vector::from_vec(vec![1.0, 5.0, 7.0, 2.0]);
+        assert_eq!(s.dot_dense(&d).unwrap(), 0.0); // 2·1 + (−1)·2 = 0
+        let mut acc = Vector::zeros(4);
+        s.axpy_into(0.5, &mut acc).unwrap();
+        assert_eq!(acc.as_slice(), &[1.0, 0.0, 0.0, -0.5]);
+        // Cross-check against densified arithmetic.
+        let dd = s.to_dense();
+        assert_eq!(s.dot_dense(&d).unwrap(), dd.dot(&d).unwrap());
+        assert_eq!(s.norm2_squared(), dd.norm2_squared());
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let s = SparseVector::new(4, vec![(0, 1.0)]).unwrap();
+        assert!(s.dot_dense(&Vector::zeros(3)).is_err());
+        let mut wrong = Vector::zeros(5);
+        assert!(s.axpy_into(1.0, &mut wrong).is_err());
+    }
+
+    #[test]
+    fn empty_sparse_vector() {
+        let s = SparseVector::new(3, vec![]).unwrap();
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.dot_dense(&Vector::filled(3, 9.0)).unwrap(), 0.0);
+        assert_eq!(s.to_dense(), Vector::zeros(3));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use mbp_linalg::{solve_spd, Cholesky, Matrix, Vector};
+use proptest::prelude::*;
+
+/// Strategy for small well-conditioned matrices: entries in [-3, 3].
+fn matrix_entries(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-3.0..3.0f64, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `A = BᵀB + I` is SPD, so Cholesky must succeed and reconstruct `A`.
+    #[test]
+    fn cholesky_roundtrip(dim in 1usize..8, entries in matrix_entries(64)) {
+        let b = Matrix::from_vec(dim, dim, entries[..dim * dim].to_vec()).unwrap();
+        let mut a = b.gram();
+        a.add_diagonal(1.0).unwrap();
+        let ch = Cholesky::factor(&a).unwrap();
+        let r = ch.reconstruct();
+        for (x, y) in a.as_slice().iter().zip(r.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-8, "reconstruction mismatch: {} vs {}", x, y);
+        }
+    }
+
+    /// Solving `A x = A x0` must recover `x0` for SPD `A`.
+    #[test]
+    fn spd_solve_recovers_solution(
+        dim in 1usize..8,
+        entries in matrix_entries(64),
+        xs in matrix_entries(8),
+    ) {
+        let b = Matrix::from_vec(dim, dim, entries[..dim * dim].to_vec()).unwrap();
+        let mut a = b.gram();
+        a.add_diagonal(1.0).unwrap();
+        let x0 = Vector::from_vec(xs[..dim].to_vec());
+        let rhs = a.matvec(&x0).unwrap();
+        let x = solve_spd(&a, &rhs).unwrap();
+        for (xi, ti) in x.as_slice().iter().zip(x0.as_slice()) {
+            prop_assert!((xi - ti).abs() < 1e-7);
+        }
+    }
+
+    /// The Gram matrix agrees with the explicit transpose product and the
+    /// quadratic form `xᵀ(AᵀA)x = ‖Ax‖²` is non-negative.
+    #[test]
+    fn gram_is_psd_quadratic_form(
+        rows in 1usize..8,
+        cols in 1usize..6,
+        entries in matrix_entries(64),
+        xs in matrix_entries(8),
+    ) {
+        let a = Matrix::from_vec(rows, cols, entries[..rows * cols].to_vec()).unwrap();
+        let g = a.gram();
+        prop_assert_eq!(&g, &a.transpose().matmul(&a).unwrap());
+        let x = Vector::from_vec(xs[..cols].to_vec());
+        let gx = g.matvec(&x).unwrap();
+        let quad = x.dot(&gx).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        prop_assert!((quad - ax.norm2_squared()).abs() < 1e-8 * (1.0 + quad.abs()));
+        prop_assert!(quad >= -1e-9);
+    }
+
+    /// `matvec_t` always agrees with materializing the transpose.
+    #[test]
+    fn matvec_t_agrees_with_transpose(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        entries in matrix_entries(64),
+        xs in matrix_entries(8),
+    ) {
+        let a = Matrix::from_vec(rows, cols, entries[..rows * cols].to_vec()).unwrap();
+        let x = Vector::from_vec(xs[..rows].to_vec());
+        let lhs = a.matvec_t(&x).unwrap();
+        let rhs = a.transpose().matvec(&x).unwrap();
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-10);
+        }
+    }
+
+    /// Matrix multiplication is associative on conforming triples.
+    #[test]
+    fn matmul_associative(
+        n in 1usize..5,
+        e1 in matrix_entries(25),
+        e2 in matrix_entries(25),
+        e3 in matrix_entries(25),
+    ) {
+        let a = Matrix::from_vec(n, n, e1[..n * n].to_vec()).unwrap();
+        let b = Matrix::from_vec(n, n, e2[..n * n].to_vec()).unwrap();
+        let c = Matrix::from_vec(n, n, e3[..n * n].to_vec()).unwrap();
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-8);
+        }
+    }
+
+    /// Triangle inequality and scaling homogeneity of the vector norms.
+    #[test]
+    fn vector_norm_axioms(xs in matrix_entries(8), ys in matrix_entries(8), c in -5.0..5.0f64) {
+        let x = Vector::from_vec(xs.clone());
+        let y = Vector::from_vec(ys);
+        let sum = x.add(&y).unwrap();
+        prop_assert!(sum.norm2() <= x.norm2() + y.norm2() + 1e-10);
+        prop_assert!((x.scale(c).norm2() - c.abs() * x.norm2()).abs() < 1e-9);
+        prop_assert!(x.norm_inf() <= x.norm2() + 1e-12);
+        prop_assert!(x.norm2() <= x.norm1() + 1e-12);
+    }
+}

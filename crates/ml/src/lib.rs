@@ -1,0 +1,37 @@
+//! From-scratch ML training substrate for the MBP marketplace.
+//!
+//! The broker's menu `M` in the paper (Table 2) is: least-squares linear
+//! regression, L2-regularized logistic regression, and the L2 linear SVM —
+//! all linear hypotheses `h ∈ R^d` with strictly convex training losses `λ`.
+//! This crate implements those losses, the trainers that find the optimal
+//! model instance `h*_λ(D) = argmin_h λ(h, D)`, and the buyer-facing test
+//! error functions `ε`:
+//!
+//! * [`SquaredLoss`], [`LogisticLoss`], [`SmoothedHingeLoss`] — training
+//!   objectives implementing [`Objective`] (value + gradient, optional ridge);
+//! * [`train`] — closed-form ridge regression (Cholesky), backtracking
+//!   gradient descent for any [`Objective`], and Newton's method for
+//!   logistic regression; [`sgd`] — deterministic mini-batch SGD for the
+//!   full Table 3 dataset scale;
+//! * [`metrics`] — test errors: square loss, logistic loss, and 0/1
+//!   misclassification rate (the three panels of Figure 6).
+//!
+//! The SVM note: the paper's Table 2 prints the hinge as `max(1, −y·wᵀx)`,
+//! an evident typo for the standard hinge `max(0, 1 − y·wᵀx)`. We implement
+//! a quadratically smoothed (Huberized) hinge so the objective is
+//! differentiable and strictly convex with its L2 term, matching the paper's
+//! "strictly convex λ" scope (Section 3.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod loss;
+pub mod metrics;
+mod model;
+pub mod persist;
+pub mod sgd;
+pub mod sparse;
+pub mod train;
+
+pub use loss::{LogisticLoss, Objective, SmoothedHingeLoss, SquaredLoss};
+pub use model::{LinearModel, ModelKind};

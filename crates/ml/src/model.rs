@@ -1,0 +1,145 @@
+use crate::loss::dot;
+use mbp_linalg::Vector;
+
+/// Which paper-menu model a hypothesis belongs to (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Least-squares linear regression.
+    LinearRegression,
+    /// L2-regularized logistic regression.
+    LogisticRegression,
+    /// L2 linear SVM (smoothed hinge).
+    LinearSvm,
+}
+
+impl ModelKind {
+    /// Human-readable name matching the paper's Table 2 rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::LinearRegression => "Lin. reg.",
+            ModelKind::LogisticRegression => "Log. reg.",
+            ModelKind::LinearSvm => "L2 Lin. SVM",
+        }
+    }
+
+    /// `true` for the classification models.
+    pub fn is_classifier(&self) -> bool {
+        !matches!(self, ModelKind::LinearRegression)
+    }
+}
+
+/// A concrete model instance: a hypothesis `h ∈ R^d` tagged with its kind.
+///
+/// This is the artifact the broker sells. For regression,
+/// [`LinearModel::predict`] returns the real-valued score; for
+/// classification, [`LinearModel::classify`] thresholds it at zero into a
+/// `{−1, +1}` label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    kind: ModelKind,
+    weights: Vector,
+}
+
+impl LinearModel {
+    /// Wraps a weight vector as a model instance.
+    pub fn new(kind: ModelKind, weights: Vector) -> Self {
+        LinearModel { kind, weights }
+    }
+
+    /// The model kind.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The hypothesis vector `h`.
+    pub fn weights(&self) -> &Vector {
+        &self.weights
+    }
+
+    /// Number of features `d`.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Raw linear score `hᵀx`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != self.dim()`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(
+            x.len(),
+            self.dim(),
+            "feature vector has {} entries, model expects {}",
+            x.len(),
+            self.dim()
+        );
+        dot(self.weights.as_slice(), x)
+    }
+
+    /// Classification label `sign(hᵀx) ∈ {−1, +1}` (ties go to `+1`,
+    /// matching the paper's `wᵀx > 0` convention with non-strict fallback).
+    pub fn classify(&self, x: &[f64]) -> f64 {
+        if self.predict(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Probability estimate `σ(hᵀx)` for logistic models.
+    pub fn probability(&self, x: &[f64]) -> f64 {
+        crate::loss::sigmoid(self.predict(x))
+    }
+
+    /// Returns a copy with the weights replaced (used by noise mechanisms to
+    /// build the released instance `ĥ = h* + w`).
+    pub fn with_weights(&self, weights: Vector) -> LinearModel {
+        assert_eq!(weights.len(), self.dim(), "weight dimension changed");
+        LinearModel {
+            kind: self.kind,
+            weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_is_dot_product() {
+        let m = LinearModel::new(
+            ModelKind::LinearRegression,
+            Vector::from_vec(vec![1.0, -2.0]),
+        );
+        assert_eq!(m.predict(&[3.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn classify_signs() {
+        let m = LinearModel::new(ModelKind::LinearSvm, Vector::from_vec(vec![1.0]));
+        assert_eq!(m.classify(&[2.0]), 1.0);
+        assert_eq!(m.classify(&[-2.0]), -1.0);
+        assert_eq!(m.classify(&[0.0]), 1.0);
+    }
+
+    #[test]
+    fn probability_is_sigmoid() {
+        let m = LinearModel::new(ModelKind::LogisticRegression, Vector::from_vec(vec![0.0]));
+        assert!((m.probability(&[5.0]) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature vector")]
+    fn predict_checks_dim() {
+        let m = LinearModel::new(ModelKind::LinearRegression, Vector::zeros(2));
+        m.predict(&[1.0]);
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert!(ModelKind::LogisticRegression.is_classifier());
+        assert!(!ModelKind::LinearRegression.is_classifier());
+        assert_eq!(ModelKind::LinearSvm.name(), "L2 Lin. SVM");
+    }
+}

@@ -1,0 +1,177 @@
+//! TSV persistence for model instances.
+//!
+//! A sold model must survive the marketplace session: buyers store the
+//! instance and load it into their own pipelines. The format is a tiny
+//! self-describing TSV (no external serialization dependency):
+//!
+//! ```text
+//! mbp-model <TAB> v1
+//! kind <TAB> linreg
+//! dim <TAB> 3
+//! w <TAB> 0.5 <TAB> -1.25 <TAB> 3.0
+//! ```
+
+use crate::{LinearModel, ModelKind};
+use mbp_linalg::Vector;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input is not an mbp model file, or is malformed.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model io error: {e}"),
+            PersistError::Format(msg) => write!(f, "bad model file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn kind_tag(kind: ModelKind) -> &'static str {
+    match kind {
+        ModelKind::LinearRegression => "linreg",
+        ModelKind::LogisticRegression => "logreg",
+        ModelKind::LinearSvm => "svm",
+    }
+}
+
+fn kind_from_tag(tag: &str) -> Option<ModelKind> {
+    match tag {
+        "linreg" => Some(ModelKind::LinearRegression),
+        "logreg" => Some(ModelKind::LogisticRegression),
+        "svm" => Some(ModelKind::LinearSvm),
+        _ => None,
+    }
+}
+
+/// Writes a model instance as TSV.
+pub fn write_model<W: Write>(model: &LinearModel, mut w: W) -> Result<(), PersistError> {
+    writeln!(w, "mbp-model\tv1")?;
+    writeln!(w, "kind\t{}", kind_tag(model.kind()))?;
+    writeln!(w, "dim\t{}", model.dim())?;
+    let weights: Vec<String> = model
+        .weights()
+        .as_slice()
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect();
+    writeln!(w, "w\t{}", weights.join("\t"))?;
+    Ok(())
+}
+
+/// Reads a model instance from TSV written by [`write_model`].
+pub fn read_model<R: Read>(r: R) -> Result<LinearModel, PersistError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| PersistError::Format("empty file".into()))??;
+    if header.trim() != "mbp-model\tv1" {
+        return Err(PersistError::Format(format!(
+            "unexpected header {header:?} (want `mbp-model\\tv1`)"
+        )));
+    }
+    let mut kind = None;
+    let mut dim = None;
+    let mut weights: Option<Vec<f64>> = None;
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        match parts.next() {
+            Some("kind") => {
+                let tag = parts
+                    .next()
+                    .ok_or_else(|| PersistError::Format("kind line missing value".into()))?;
+                kind =
+                    Some(kind_from_tag(tag).ok_or_else(|| {
+                        PersistError::Format(format!("unknown model kind {tag:?}"))
+                    })?);
+            }
+            Some("dim") => {
+                let v = parts
+                    .next()
+                    .ok_or_else(|| PersistError::Format("dim line missing value".into()))?;
+                dim = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| PersistError::Format(format!("bad dimension {v:?}")))?,
+                );
+            }
+            Some("w") => {
+                let ws: Result<Vec<f64>, _> = parts.map(|p| p.parse::<f64>()).collect();
+                weights = Some(ws.map_err(|e| PersistError::Format(format!("bad weight: {e}")))?);
+            }
+            Some(other) => return Err(PersistError::Format(format!("unknown field {other:?}"))),
+            None => {}
+        }
+    }
+    let kind = kind.ok_or_else(|| PersistError::Format("missing kind".into()))?;
+    let dim = dim.ok_or_else(|| PersistError::Format("missing dim".into()))?;
+    let weights = weights.ok_or_else(|| PersistError::Format("missing weights".into()))?;
+    if weights.len() != dim {
+        return Err(PersistError::Format(format!(
+            "dim says {dim} but {} weights present",
+            weights.len()
+        )));
+    }
+    Ok(LinearModel::new(kind, Vector::from_vec(weights)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for kind in [
+            ModelKind::LinearRegression,
+            ModelKind::LogisticRegression,
+            ModelKind::LinearSvm,
+        ] {
+            let model = LinearModel::new(kind, Vector::from_vec(vec![0.5, -1.25, 3.0]));
+            let mut buf = Vec::new();
+            write_model(&model, &mut buf).unwrap();
+            let back = read_model(&buf[..]).unwrap();
+            assert_eq!(back, model);
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_full_precision() {
+        let w = vec![1.0 / 3.0, std::f64::consts::SQRT_2, -1e-17];
+        let model = LinearModel::new(ModelKind::LinearRegression, Vector::from_vec(w.clone()));
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).unwrap();
+        let back = read_model(&buf[..]).unwrap();
+        assert_eq!(back.weights().as_slice(), &w[..]);
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(read_model("".as_bytes()).is_err());
+        assert!(read_model("not-a-model\tv1\n".as_bytes()).is_err());
+        assert!(read_model("mbp-model\tv1\nkind\tmagic\n".as_bytes()).is_err());
+        let missing_w = "mbp-model\tv1\nkind\tlinreg\ndim\t2\n";
+        assert!(read_model(missing_w.as_bytes()).is_err());
+        let wrong_dim = "mbp-model\tv1\nkind\tlinreg\ndim\t3\nw\t1.0\t2.0\n";
+        assert!(read_model(wrong_dim.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! Trainers that compute the optimal model instance `h*_λ(D)`.
+//!
+//! Training the optimal model is the broker's one-time cost in the paper
+//! (Section 1: "the broker first trains the optimal model instance, which is
+//! a one-time cost"). Three trainers cover the menu:
+//!
+//! * [`ridge_closed_form`] — exact normal-equations solution for
+//!   least-squares / ridge regression via Cholesky;
+//! * [`newton_logistic`] — damped Newton for L2 logistic regression
+//!   (quadratic local convergence, a handful of `d × d` solves);
+//! * [`gradient_descent`] — backtracking-line-search gradient descent for
+//!   any [`Objective`], used for the smoothed-hinge SVM and as a generic
+//!   fallback.
+
+use crate::loss::{LogisticLoss, Objective, SquaredLoss};
+use mbp_data::Dataset;
+use mbp_linalg::{solve_spd, Cholesky, Vector};
+
+/// Report returned by iterative trainers.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// The optimal hypothesis found.
+    pub weights: Vector,
+    /// Final objective value.
+    pub objective: f64,
+    /// Final gradient norm (first-order optimality residual).
+    pub grad_norm: f64,
+    /// Number of outer iterations used.
+    pub iterations: usize,
+    /// `true` when `grad_norm ≤ tol` was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// Configuration for the iterative trainers.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// Gradient-norm convergence tolerance.
+    pub tol: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            max_iters: 500,
+            tol: 1e-8,
+        }
+    }
+}
+
+/// Exact ridge regression: solves `(XᵀX/n + μI) h = Xᵀy/n`.
+///
+/// With `mu = 0` this is ordinary least squares and requires `XᵀX` to be
+/// numerically positive definite (any duplicate/constant column will surface
+/// as [`mbp_linalg::LinalgError::NotPositiveDefinite`]).
+pub fn ridge_closed_form(ds: &Dataset, mu: f64) -> Result<Vector, mbp_linalg::LinalgError> {
+    assert!(mu >= 0.0 && mu.is_finite(), "mu must be >= 0, got {mu}");
+    let n = ds.n().max(1) as f64;
+    let mut gram = ds.x.gram();
+    // Scale to the averaged objective so mu means the same thing as in
+    // `SquaredLoss::ridge`.
+    let d = gram.rows();
+    let mut scaled = mbp_linalg::Matrix::zeros(d, d);
+    for i in 0..d {
+        for j in 0..d {
+            scaled.set(i, j, gram.get(i, j) / n);
+        }
+    }
+    gram = scaled;
+    gram.add_diagonal(mu)?;
+    let xty = ds.x.matvec_t(&ds.y)?.scale(1.0 / n);
+    solve_spd(&gram, &xty)
+}
+
+/// Backtracking-line-search gradient descent on any [`Objective`].
+///
+/// Uses Armijo backtracking with a *strict* sufficient-decrease constant
+/// (`c = 0.25`, halving) from an adaptive initial step. A loose constant
+/// (the textbook `1e-4`) accepts wildly overshooting steps whose actual
+/// decrease is negligible, which stalls convergence on ill-conditioned
+/// quadratics; `c = 0.25` forces each accepted step to realize a constant
+/// fraction of the ideal decrease, restoring the linear rate. Deterministic:
+/// no randomness is involved, so retraining the optimal model for the same
+/// dataset yields bit-identical weights.
+pub fn gradient_descent(obj: &impl Objective, ds: &Dataset, cfg: TrainConfig) -> FitReport {
+    let d = ds.d();
+    let mut h = Vector::zeros(d);
+    let mut value = obj.value(&h, ds);
+    let mut step = 1.0;
+    let mut iterations = 0;
+    for it in 0..cfg.max_iters {
+        iterations = it + 1;
+        let g = obj.gradient(&h, ds);
+        let grad_norm = g.norm2();
+        if grad_norm <= cfg.tol {
+            iterations = it;
+            break;
+        }
+        // Backtracking from a slightly optimistic step (grow 2x per iter).
+        step = f64::min(step * 2.0, 1e6);
+        let g2 = grad_norm * grad_norm;
+        let mut accepted = false;
+        for _ in 0..60 {
+            let mut trial = h.clone();
+            trial.axpy(-step, &g).expect("same dim");
+            let tv = obj.value(&trial, ds);
+            if tv <= value - 0.25 * step * g2 {
+                h = trial;
+                value = tv;
+                accepted = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !accepted {
+            // Step collapsed below resolution: we are at numerical optimum.
+            break;
+        }
+    }
+    let g = obj.gradient(&h, ds);
+    FitReport {
+        grad_norm: g.norm2(),
+        converged: g.norm2() <= cfg.tol,
+        weights: h,
+        objective: value,
+        iterations,
+    }
+}
+
+/// Damped Newton's method for L2 logistic regression.
+///
+/// Each step solves `(∇²λ) p = ∇λ` by Cholesky and backtracks on the
+/// objective. Requires `mu > 0` or well-spread data for the Hessian to be
+/// positive definite; falls back to a gradient step when factorization
+/// fails.
+pub fn newton_logistic(loss: &LogisticLoss, ds: &Dataset, cfg: TrainConfig) -> FitReport {
+    let d = ds.d();
+    let mut h = Vector::zeros(d);
+    let mut value = loss.value(&h, ds);
+    let mut iterations = 0;
+    for it in 0..cfg.max_iters {
+        iterations = it + 1;
+        let g = loss.gradient(&h, ds);
+        if g.norm2() <= cfg.tol {
+            iterations = it;
+            break;
+        }
+        let hess = loss.hessian(&h, ds);
+        let dir = match Cholesky::factor(&hess).and_then(|ch| ch.solve(&g)) {
+            Ok(p) => p,
+            Err(_) => g.clone(), // gradient fallback
+        };
+        // Backtracking on the Newton direction.
+        let slope = g.dot(&dir).expect("same dim");
+        let mut step = 1.0;
+        let mut moved = false;
+        for _ in 0..50 {
+            let mut trial = h.clone();
+            trial.axpy(-step, &dir).expect("same dim");
+            let tv = loss.value(&trial, ds);
+            if tv <= value - 1e-4 * step * slope {
+                h = trial;
+                value = tv;
+                moved = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !moved {
+            break;
+        }
+    }
+    let g = loss.gradient(&h, ds);
+    FitReport {
+        grad_norm: g.norm2(),
+        converged: g.norm2() <= cfg.tol,
+        weights: h,
+        objective: value,
+        iterations,
+    }
+}
+
+/// Trains least squares and checks the closed form against gradient descent
+/// — exposed for diagnostics and tests.
+pub fn least_squares_cross_check(ds: &Dataset, mu: f64, cfg: TrainConfig) -> (Vector, FitReport) {
+    let closed = ridge_closed_form(ds, mu).expect("closed-form ridge failed");
+    let gd = gradient_descent(&SquaredLoss::ridge(mu), ds, cfg);
+    (closed, gd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::SmoothedHingeLoss;
+    use mbp_data::synth;
+    use mbp_randx::seeded_rng;
+
+    #[test]
+    fn ridge_recovers_noiseless_signal() {
+        let mut rng = seeded_rng(41);
+        let ds = synth::simulated1(400, 6, 0.0, &mut rng);
+        let w = ridge_closed_form(&ds, 0.0).unwrap();
+        // Residual should be ~0 since targets are exactly linear.
+        let loss = SquaredLoss::plain().value(&w, &ds);
+        assert!(loss < 1e-15, "loss {loss}");
+    }
+
+    #[test]
+    fn closed_form_matches_gradient_descent() {
+        let mut rng = seeded_rng(42);
+        let ds = synth::simulated1(300, 5, 0.3, &mut rng);
+        let (closed, gd) = least_squares_cross_check(
+            &ds,
+            0.1,
+            TrainConfig {
+                max_iters: 5000,
+                tol: 1e-8,
+            },
+        );
+        assert!(gd.converged, "gd stalled at grad norm {}", gd.grad_norm);
+        let diff = closed.sub(&gd.weights).unwrap().norm2();
+        assert!(diff < 1e-6, "closed vs gd differ by {diff}");
+    }
+
+    #[test]
+    fn newton_matches_gradient_descent_on_logistic() {
+        let mut rng = seeded_rng(43);
+        let ds = synth::simulated2(400, 4, 0.9, &mut rng);
+        let loss = LogisticLoss::ridge(0.05);
+        let cfg = TrainConfig {
+            max_iters: 3000,
+            tol: 1e-9,
+        };
+        let newton = newton_logistic(&loss, &ds, cfg);
+        let gd = gradient_descent(&loss, &ds, cfg);
+        assert!(newton.converged);
+        let diff = newton.weights.sub(&gd.weights).unwrap().norm2();
+        assert!(diff < 1e-5, "newton vs gd differ by {diff}");
+        // Newton should need far fewer iterations.
+        assert!(newton.iterations < gd.iterations || gd.iterations < 20);
+    }
+
+    #[test]
+    fn newton_converges_fast() {
+        let mut rng = seeded_rng(44);
+        let ds = synth::simulated2(500, 6, 0.95, &mut rng);
+        let report = newton_logistic(&LogisticLoss::ridge(0.1), &ds, TrainConfig::default());
+        assert!(report.converged);
+        assert!(report.iterations <= 30, "took {}", report.iterations);
+    }
+
+    #[test]
+    fn svm_training_separates_separable_data() {
+        let mut rng = seeded_rng(45);
+        let ds = synth::simulated2(300, 4, 1.0, &mut rng); // noiseless labels
+        let loss = SmoothedHingeLoss::new(0.01, 0.5);
+        let fit = gradient_descent(
+            &loss,
+            &ds,
+            TrainConfig {
+                max_iters: 2000,
+                tol: 1e-7,
+            },
+        );
+        // Training accuracy should be near-perfect.
+        let mut errs = 0;
+        for i in 0..ds.n() {
+            let (x, y) = ds.example(i);
+            let pred = if crate::loss::dot(fit.weights.as_slice(), x) >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            };
+            if pred != y {
+                errs += 1;
+            }
+        }
+        assert!(errs * 20 < ds.n(), "too many training errors: {errs}");
+    }
+
+    #[test]
+    fn gradient_descent_monotone_decrease() {
+        let mut rng = seeded_rng(46);
+        let ds = synth::simulated1(100, 3, 0.5, &mut rng);
+        let obj = SquaredLoss::ridge(0.2);
+        let fit = gradient_descent(&obj, &ds, TrainConfig::default());
+        let at_zero = obj.value(&Vector::zeros(3), &ds);
+        assert!(fit.objective <= at_zero + 1e-12);
+    }
+
+    #[test]
+    fn trainer_is_deterministic() {
+        let mut rng = seeded_rng(47);
+        let ds = synth::simulated2(200, 3, 0.9, &mut rng);
+        let loss = LogisticLoss::ridge(0.1);
+        let a = newton_logistic(&loss, &ds, TrainConfig::default());
+        let b = newton_logistic(&loss, &ds, TrainConfig::default());
+        assert_eq!(a.weights, b.weights);
+    }
+}

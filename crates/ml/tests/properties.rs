@@ -1,0 +1,123 @@
+//! Property-based tests for the ML substrate: gradients agree with finite
+//! differences on random data, trainers only ever decrease their
+//! objectives, and the closed form solves the normal equations.
+
+use mbp_data::Dataset;
+use mbp_linalg::{Matrix, Vector};
+use mbp_ml::train::{gradient_descent, ridge_closed_form, TrainConfig};
+use mbp_ml::{LogisticLoss, Objective, SmoothedHingeLoss, SquaredLoss};
+use proptest::prelude::*;
+
+fn dataset(xs: &[f64], ys: &[f64], d: usize) -> Dataset {
+    let n = ys.len().min(xs.len() / d);
+    let x = Matrix::from_vec(n, d, xs[..n * d].to_vec()).unwrap();
+    let y = Vector::from_vec(ys[..n].to_vec());
+    Dataset::new(x, y)
+}
+
+fn sign_labels(ys: &[f64]) -> Vec<f64> {
+    ys.iter()
+        .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
+        .collect()
+}
+
+fn check_gradient(obj: &impl Objective, h: &Vector, ds: &Dataset) -> Result<(), TestCaseError> {
+    let g = obj.gradient(h, ds);
+    let eps = 1e-6;
+    for j in 0..h.len() {
+        let mut hp = h.clone();
+        hp[j] += eps;
+        let mut hm = h.clone();
+        hm[j] -= eps;
+        let fd = (obj.value(&hp, ds) - obj.value(&hm, ds)) / (2.0 * eps);
+        prop_assert!(
+            (fd - g[j]).abs() < 1e-4 * (1.0 + fd.abs()),
+            "coord {}: fd {} vs grad {}",
+            j,
+            fd,
+            g[j]
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All three losses have correct gradients at random points on random
+    /// data.
+    #[test]
+    fn gradients_match_finite_differences(
+        xs in prop::collection::vec(-2.0..2.0f64, 12..40),
+        ys in prop::collection::vec(-3.0..3.0f64, 4..10),
+        hs in prop::collection::vec(-1.5..1.5f64, 3),
+        mu in 0.0..1.0f64,
+    ) {
+        let d = 3;
+        let reg = dataset(&xs, &ys, d);
+        let h = Vector::from_vec(hs.clone());
+        check_gradient(&SquaredLoss::ridge(mu), &h, &reg)?;
+        let clf = Dataset::new(reg.x.clone(), Vector::from_vec(sign_labels(reg.y.as_slice())));
+        check_gradient(&LogisticLoss::ridge(mu), &h, &clf)?;
+        check_gradient(&SmoothedHingeLoss::new(mu.max(1e-3), 0.5), &h, &clf)?;
+    }
+
+    /// The closed-form ridge solution zeroes the gradient of the averaged
+    /// objective (first-order optimality).
+    #[test]
+    fn closed_form_is_stationary(
+        xs in prop::collection::vec(-2.0..2.0f64, 30..60),
+        ys in prop::collection::vec(-3.0..3.0f64, 10..20),
+        mu in 0.01..1.0f64,
+    ) {
+        let d = 3;
+        let ds = dataset(&xs, &ys, d);
+        prop_assume!(ds.n() >= 5);
+        let w = ridge_closed_form(&ds, mu).unwrap();
+        let g = SquaredLoss::ridge(mu).gradient(&w, &ds);
+        prop_assert!(g.norm2() < 1e-8, "gradient norm {}", g.norm2());
+    }
+
+    /// Gradient descent never increases the objective relative to the zero
+    /// start, and with enough iterations is near-stationary on the strongly
+    /// convex ridge objective.
+    #[test]
+    fn gd_decreases_objective(
+        xs in prop::collection::vec(-2.0..2.0f64, 12..40),
+        ys in prop::collection::vec(-3.0..3.0f64, 4..10),
+    ) {
+        let d = 3;
+        let ds = dataset(&xs, &ys, d);
+        let obj = SquaredLoss::ridge(0.1);
+        let fit = gradient_descent(&obj, &ds, TrainConfig { max_iters: 300, tol: 1e-9 });
+        let at_zero = obj.value(&Vector::zeros(d), &ds);
+        prop_assert!(fit.objective <= at_zero + 1e-12);
+        // Near-stationary relative to the starting gradient (backtracking
+        // can stall at float resolution on ill-conditioned draws).
+        let g0 = obj.gradient(&Vector::zeros(d), &ds).norm2();
+        prop_assert!(
+            fit.grad_norm < 1e-3 * (1.0 + g0),
+            "grad norm {} (initial {})",
+            fit.grad_norm,
+            g0
+        );
+    }
+
+    /// Ridge shrinks: larger μ gives a (weakly) smaller norm solution.
+    #[test]
+    fn ridge_path_shrinks_norms(
+        xs in prop::collection::vec(-2.0..2.0f64, 30..60),
+        ys in prop::collection::vec(-3.0..3.0f64, 10..20),
+    ) {
+        let d = 3;
+        let ds = dataset(&xs, &ys, d);
+        prop_assume!(ds.n() >= 5);
+        let mut last = f64::INFINITY;
+        for mu in [0.01, 0.1, 1.0, 10.0] {
+            let w = ridge_closed_form(&ds, mu).unwrap();
+            let norm = w.norm2();
+            prop_assert!(norm <= last + 1e-9, "norm grew along ridge path");
+            last = norm;
+        }
+    }
+}

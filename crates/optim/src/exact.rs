@@ -1,0 +1,373 @@
+//! Exact revenue maximization over the *original* arbitrage-free set —
+//! the stand-in for the paper's MILP baseline (Figures 9 and 10).
+//!
+//! The paper compares its polynomial-time approximation against an exact
+//! "multiple-integer-linear-programming" solver that takes exponential time.
+//! We implement an equivalent exact maximizer with a cleaner structure:
+//!
+//! 1. Enumerate (with branch-and-bound) the subset `S` of buyers that end
+//!    up purchasing.
+//! 2. For a fixed `S`, the component-wise **greatest** price vector that is
+//!    monotone + subadditive and honors the caps `z_j ≤ v_j (j ∈ S)` is
+//!    exactly the covering function `w_j = μ_S(a_j)` computed by the
+//!    [`CoverOracle`] with item costs set to
+//!    the valuations of `S` — any feasible pricing satisfies
+//!    `p̂(a_j) ≤ Σ kᵢ vᵢ` for every cover, and `μ_S` itself is monotone and
+//!    subadditive, hence feasible and revenue-optimal for `S`.
+//! 3. The revenue of `S` is `Σ_{j∈S} b_j μ_S(a_j)`; the best subset wins.
+//!
+//! This is exact for the same reason the MILP is: both optimize over all
+//! served-set/vertex combinations; only the enumeration strategy differs.
+//! Runtime is `O(2ⁿ · n · max a)` — the exponential growth that Figures
+//! 9–10 plot against the `O(n²)` dynamic program.
+
+use crate::knapsack::{CoverOracle, Item};
+
+/// One buyer point of the revenue-maximization instance: grid point `a`
+/// (inverse NCP on an integer grid), valuation `v`, and demand mass `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuyerPoint {
+    /// Grid point `a_j` (positive integer; quantize floats via
+    /// [`quantize_grid`]).
+    pub a: u64,
+    /// The valuation `v_j ≥ 0`: the buyer purchases iff `price ≤ v_j`.
+    pub valuation: f64,
+    /// The demand weight `b_j ≥ 0` ("how many" buyers sit at this point).
+    pub demand: f64,
+}
+
+impl BuyerPoint {
+    /// Creates a buyer point, validating ranges.
+    ///
+    /// # Panics
+    /// Panics for `a == 0`, negative valuation/demand, or non-finite input.
+    pub fn new(a: u64, valuation: f64, demand: f64) -> Self {
+        assert!(a > 0, "grid point must be positive");
+        assert!(
+            valuation >= 0.0 && valuation.is_finite(),
+            "valuation must be finite and >= 0, got {valuation}"
+        );
+        assert!(
+            demand >= 0.0 && demand.is_finite(),
+            "demand must be finite and >= 0, got {demand}"
+        );
+        BuyerPoint {
+            a,
+            valuation,
+            demand,
+        }
+    }
+}
+
+/// Result of [`maximize_revenue_exact`].
+#[derive(Debug, Clone)]
+pub struct ExactSolution {
+    /// The optimal revenue.
+    pub revenue: f64,
+    /// The optimal price at each input point (the covering function of the
+    /// winning served set, which is monotone and subadditive).
+    pub prices: Vec<f64>,
+    /// `served[j]` is `true` when buyer `j` purchases under the optimum.
+    pub served: Vec<bool>,
+    /// Number of branch-and-bound nodes expanded (diagnostic; grows
+    /// exponentially with `n`).
+    pub nodes_explored: u64,
+}
+
+/// Exactly maximizes `Σ b_j z_j · 1[z_j ≤ v_j]` over monotone, subadditive,
+/// non-negative pricing functions through integer grid points (problem (2)
+/// with the `T_bv` objective).
+///
+/// # Panics
+/// Panics when grid points are not strictly increasing.
+pub fn maximize_revenue_exact(points: &[BuyerPoint]) -> ExactSolution {
+    let n = points.len();
+    assert!(
+        points.windows(2).all(|w| w[0].a < w[1].a),
+        "grid points must be strictly increasing"
+    );
+    if n == 0 {
+        return ExactSolution {
+            revenue: 0.0,
+            prices: Vec::new(),
+            served: Vec::new(),
+            nodes_explored: 0,
+        };
+    }
+    let horizon = points.last().map(|p| p.a).unwrap_or(0);
+    // Branch and bound over served subsets, deciding buyers in input order.
+    // `potential[j]` = Σ_{i ≥ j} b_i v_i bounds any suffix's contribution.
+    let mut potential = vec![0.0; n + 1];
+    for j in (0..n).rev() {
+        potential[j] = potential[j + 1] + points[j].demand * points[j].valuation;
+    }
+    let mut best = Best {
+        revenue: -1.0,
+        served: vec![false; n],
+        prices: vec![0.0; n],
+    };
+    let mut nodes = 0u64;
+    let mut served = vec![false; n];
+    branch(
+        points,
+        horizon,
+        0,
+        &mut served,
+        &potential,
+        &mut best,
+        &mut nodes,
+    );
+    // An empty served set is always feasible with revenue 0 (price above
+    // every valuation); `best` starts below it so it is always replaced.
+    if best.revenue < 0.0 {
+        best.revenue = 0.0;
+    }
+    ExactSolution {
+        revenue: best.revenue,
+        prices: best.prices,
+        served: best.served,
+        nodes_explored: nodes,
+    }
+}
+
+struct Best {
+    revenue: f64,
+    served: Vec<bool>,
+    prices: Vec<f64>,
+}
+
+fn branch(
+    points: &[BuyerPoint],
+    horizon: u64,
+    idx: usize,
+    served: &mut Vec<bool>,
+    potential: &[f64],
+    best: &mut Best,
+    nodes: &mut u64,
+) {
+    *nodes += 1;
+    let n = points.len();
+    if idx == n {
+        let (revenue, prices) = evaluate_subset(points, horizon, served);
+        if revenue > best.revenue {
+            best.revenue = revenue;
+            best.served.clone_from(served);
+            best.prices = prices;
+        }
+        return;
+    }
+    // Upper bound: served prefix at full valuation + entire suffix at full
+    // valuation. (Prefix contributions are also ≤ b·v.)
+    let prefix_bound: f64 = (0..idx)
+        .filter(|&j| served[j])
+        .map(|j| points[j].demand * points[j].valuation)
+        .sum();
+    if prefix_bound + potential[idx] <= best.revenue {
+        return; // cannot beat the incumbent
+    }
+    // Serve first (higher revenue potential), then skip.
+    served[idx] = true;
+    branch(points, horizon, idx + 1, served, potential, best, nodes);
+    served[idx] = false;
+    branch(points, horizon, idx + 1, served, potential, best, nodes);
+}
+
+/// Computes the optimal revenue for a fixed served set: prices are the
+/// covering function `μ_S`, evaluated at every point (served points pay,
+/// unserved are priced at their covering value too — the cheapest monotone
+/// subadditive extension).
+fn evaluate_subset(points: &[BuyerPoint], horizon: u64, served: &[bool]) -> (f64, Vec<f64>) {
+    let items: Vec<Item> = points
+        .iter()
+        .zip(served)
+        .filter(|&(_, &s)| s)
+        .map(|(p, _)| Item::new(p.a, p.valuation))
+        .collect();
+    if items.is_empty() {
+        // Nobody served: any price above max valuation works; report a
+        // constant price just above the top valuation for transparency.
+        let top = points.iter().map(|p| p.valuation).fold(0.0_f64, f64::max) + 1.0;
+        return (0.0, vec![top; points.len()]);
+    }
+    let oracle = CoverOracle::build(&items, horizon);
+    let mut revenue = 0.0;
+    let mut prices = Vec::with_capacity(points.len());
+    for (p, &s) in points.iter().zip(served) {
+        let w = oracle.mu(p.a);
+        debug_assert!(w.is_finite());
+        prices.push(w);
+        if s {
+            debug_assert!(w <= p.valuation + 1e-9);
+            revenue += p.demand * w;
+        } else if w <= p.valuation {
+            // The extension undercuts this buyer's valuation, so they buy
+            // too — count the revenue (the served-set enumeration that
+            // includes them may still beat this, but the revenue is real).
+            revenue += p.demand * w;
+        }
+    }
+    (revenue, prices)
+}
+
+/// Quantizes float grid points onto an integer grid by scaling and
+/// rounding: returns `(scaled points, scale)`. The relative quantization
+/// error is at most `0.5 / scale / min(a)`.
+pub fn quantize_grid(a: &[f64], scale: f64) -> Vec<u64> {
+    assert!(scale > 0.0 && scale.is_finite());
+    a.iter()
+        .map(|&x| {
+            assert!(x > 0.0 && x.is_finite(), "grid points must be positive");
+            ((x * scale).round() as u64).max(1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(data: &[(u64, f64, f64)]) -> Vec<BuyerPoint> {
+        data.iter()
+            .map(|&(a, v, b)| BuyerPoint::new(a, v, b))
+            .collect()
+    }
+
+    /// The paper's Figure 5 worked example: a = 1..4, b = 0.25 each,
+    /// v = (100, 150, 280, 350). The revenue-optimal arbitrage-free pricing
+    /// earns 300·0.25... — concretely, panel (d) reports optimal revenue.
+    #[test]
+    fn figure5_example_optimal() {
+        let points = pts(&[
+            (1, 100.0, 0.25),
+            (2, 150.0, 0.25),
+            (3, 280.0, 0.25),
+            (4, 350.0, 0.25),
+        ]);
+        let sol = maximize_revenue_exact(&points);
+        // Check feasibility of the reported prices: monotone + no cover
+        // undercuts (μ fixpoint property) and revenue consistency.
+        for w in sol.prices.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9);
+        }
+        // Serving everyone at valuations (100,150,280,350) is NOT feasible
+        // (150+150 = 300 < 280+... check: cover of a=3 by 1+2 costs 250 <
+        // 280; so z3 ≤ 250). Exact optimum: serve all with
+        // z = (100, 150, 250, 300): revenue 0.25·800 = 200.
+        assert!(
+            (sol.revenue - 200.0).abs() < 1e-9,
+            "revenue {}",
+            sol.revenue
+        );
+        assert_eq!(sol.prices, vec![100.0, 150.0, 250.0, 300.0]);
+        assert!(sol.served.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let sol = maximize_revenue_exact(&[]);
+        assert_eq!(sol.revenue, 0.0);
+    }
+
+    #[test]
+    fn single_buyer_pays_valuation() {
+        let sol = maximize_revenue_exact(&pts(&[(5, 40.0, 2.0)]));
+        assert!((sol.revenue - 80.0).abs() < 1e-12);
+        assert_eq!(sol.prices, vec![40.0]);
+    }
+
+    #[test]
+    fn skipping_a_low_valuation_buyer_can_win() {
+        // A cheap buyer at a=1 caps every later price via covers:
+        // serving them at v=1 forces z_2 ≤ 2·1 = 2, killing the big buyer's
+        // 100-valuation. Optimal: serve only the big buyer.
+        let points = pts(&[(1, 1.0, 0.01), (2, 100.0, 1.0)]);
+        let sol = maximize_revenue_exact(&points);
+        assert!(
+            (sol.revenue - 100.0).abs() < 1e-9,
+            "revenue {}",
+            sol.revenue
+        );
+        assert!(!sol.served[0] && sol.served[1]);
+    }
+
+    #[test]
+    fn serving_both_wins_when_demands_balance() {
+        let points = pts(&[(1, 60.0, 1.0), (2, 100.0, 1.0)]);
+        // Serve both: z = (60, 100) feasible? cover of 2 by two 1s costs
+        // 120 > 100, fine. Revenue 160.
+        let sol = maximize_revenue_exact(&points);
+        assert!((sol.revenue - 160.0).abs() < 1e-9);
+        assert_eq!(sol.prices, vec![60.0, 100.0]);
+    }
+
+    #[test]
+    fn prices_never_exceed_cheapest_cover() {
+        let points = pts(&[(2, 10.0, 1.0), (3, 12.0, 1.0), (5, 30.0, 1.0)]);
+        let sol = maximize_revenue_exact(&points);
+        // If 2 and 3 are served at ~10 and ~12, then a=5 is covered by
+        // {2,3} at 22 — its price cannot exceed 22.
+        if sol.served[0] && sol.served[1] {
+            assert!(sol.prices[2] <= 22.0 + 1e-9);
+        }
+        // Revenue must be at least the best constant-price baseline:
+        // price 10 for everyone → 30.
+        assert!(sol.revenue >= 30.0 - 1e-9);
+    }
+
+    #[test]
+    fn nodes_grow_with_n() {
+        let small = maximize_revenue_exact(&pts(&[(1, 5.0, 1.0), (2, 9.0, 1.0)]));
+        let large = maximize_revenue_exact(&pts(&[
+            (1, 5.0, 1.0),
+            (2, 9.0, 1.0),
+            (3, 12.0, 1.0),
+            (4, 14.0, 1.0),
+            (5, 15.0, 1.0),
+        ]));
+        assert!(large.nodes_explored > small.nodes_explored);
+    }
+
+    #[test]
+    fn quantize_rounds_and_clamps() {
+        assert_eq!(quantize_grid(&[0.24, 1.0, 2.51], 10.0), vec![2, 10, 25]);
+        assert_eq!(quantize_grid(&[0.01], 10.0), vec![1]); // clamped to 1
+    }
+
+    /// Exhaustive cross-check on random-ish small instances: enumerate all
+    /// candidate price assignments on a fine lattice of valuation-derived
+    /// values and verify none beats the solver (the optimum of (2) always
+    /// occurs at prices in the covering lattice of served valuations).
+    #[test]
+    fn exact_beats_lattice_enumeration() {
+        let points = pts(&[(1, 30.0, 0.5), (2, 50.0, 1.0), (4, 120.0, 0.8)]);
+        let sol = maximize_revenue_exact(&points);
+        // Enumerate all subsets by hand and recompute.
+        let mut best = 0.0_f64;
+        for mask in 0u32..8 {
+            let served: Vec<bool> = (0..3).map(|j| mask & (1 << j) != 0).collect();
+            let items: Vec<Item> = points
+                .iter()
+                .zip(&served)
+                .filter(|&(_, &s)| s)
+                .map(|(p, _)| Item::new(p.a, p.valuation))
+                .collect();
+            if items.is_empty() {
+                continue;
+            }
+            let oracle = CoverOracle::build(&items, 4);
+            let mut rev = 0.0;
+            for p in &points {
+                let w = oracle.mu(p.a);
+                if w <= p.valuation {
+                    rev += p.demand * w;
+                }
+            }
+            best = best.max(rev);
+        }
+        assert!(
+            (sol.revenue - best).abs() < 1e-9,
+            "{} vs {best}",
+            sol.revenue
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Optimization substrate for MBP revenue maximization.
+//!
+//! The paper's price-setting machinery (Section 5) needs four solvers that
+//! MATLAB provided out of the box; this crate builds them from scratch:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex for linear programs,
+//!   used by the `T∞_pi` price-interpolation objective and as an
+//!   independent feasibility cross-check;
+//! * [`isotonic`] — weighted pool-adjacent-violators (PAVA) and a Dykstra
+//!   alternating-projection solver for the `T²_pi` quadratic program over
+//!   the relaxed constraint set of problem (4): `z` non-decreasing and
+//!   `z_j/a_j` non-increasing;
+//! * [`knapsack`] — the unbounded min-cost *covering* knapsack
+//!   `μ(x) = min{Σ kᵢ·cᵢ : Σ kᵢ·aᵢ ≥ x}`, which is exactly the
+//!   subadditive-interpolation feasibility oracle from the proof of
+//!   Theorem 7;
+//! * [`exact`] — an exact (exponential-time) revenue maximizer over the
+//!   *original* arbitrage-free constraint set (2), standing in for the
+//!   paper's MILP baseline in Figures 9–10;
+//! * [`subset_sum`] — the unbounded subset-sum problem and the executable
+//!   Theorem 7 reduction showing subadditive interpolation is coNP-hard;
+//! * [`projgrad`] — projected gradient ascent for *general* separable
+//!   concave objectives over the relaxed cone (the setting of the paper's
+//!   Proposition 2), reusing the Dykstra projection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod isotonic;
+pub mod knapsack;
+pub mod projgrad;
+pub mod simplex;
+pub mod subset_sum;

@@ -1,0 +1,399 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! Small, exact-ish (floating point) linear programming for the
+//! marketplace's needs: the `T∞_pi` interpolation objective is an LP, and
+//! the tests use LP feasibility as an independent cross-check of the
+//! specialized cone projections. Variables are non-negative; constraints may
+//! be `≤`, `≥`, or `=`. Bland's anti-cycling rule keeps termination
+//! guaranteed at a (harmless for these sizes) performance cost.
+
+/// Direction of one linear constraint `aᵀx {≤,≥,=} b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `aᵀx ≤ b`
+    Le,
+    /// `aᵀx ≥ b`
+    Ge,
+    /// `aᵀx = b`
+    Eq,
+}
+
+/// Termination status of the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below on the feasible set.
+    Unbounded,
+}
+
+/// Result of [`LinearProgram::minimize`].
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status; `x`/`objective` are meaningful only for
+    /// [`LpStatus::Optimal`].
+    pub status: LpStatus,
+    /// Optimal primal point (original variables only).
+    pub x: Vec<f64>,
+    /// Optimal objective value `cᵀx`.
+    pub objective: f64,
+}
+
+/// A linear program `min cᵀx  s.t.  constraints, x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    n: usize,
+    c: Vec<f64>,
+    rows: Vec<(Vec<f64>, Cmp, f64)>,
+}
+
+impl LinearProgram {
+    /// Creates a program over `n` non-negative variables with objective `c`.
+    ///
+    /// # Panics
+    /// Panics when `c.len() != n`.
+    pub fn new(n: usize, c: Vec<f64>) -> Self {
+        assert_eq!(c.len(), n, "objective has wrong arity");
+        LinearProgram {
+            n,
+            c,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds the constraint `coeffs·x cmp rhs`.
+    ///
+    /// # Panics
+    /// Panics when `coeffs.len() != n` or `rhs` is non-finite.
+    pub fn constrain(&mut self, coeffs: Vec<f64>, cmp: Cmp, rhs: f64) -> &mut Self {
+        assert_eq!(coeffs.len(), self.n, "constraint has wrong arity");
+        assert!(rhs.is_finite(), "rhs must be finite");
+        self.rows.push((coeffs, cmp, rhs));
+        self
+    }
+
+    /// Solves the program with two-phase simplex.
+    pub fn minimize(&self) -> LpSolution {
+        const EPS: f64 = 1e-9;
+        let m = self.rows.len();
+        // Normalize rows to b >= 0.
+        let mut rows: Vec<(Vec<f64>, Cmp, f64)> = self.rows.clone();
+        for (coef, cmp, b) in &mut rows {
+            if *b < 0.0 {
+                for v in coef.iter_mut() {
+                    *v = -*v;
+                }
+                *b = -*b;
+                *cmp = match *cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+        }
+        // Column layout: [original n | slacks | artificials].
+        let n_slack = rows
+            .iter()
+            .filter(|(_, cmp, _)| !matches!(cmp, Cmp::Eq))
+            .count();
+        let n_art = rows
+            .iter()
+            .filter(|(_, cmp, _)| matches!(cmp, Cmp::Ge | Cmp::Eq))
+            .count();
+        let total = self.n + n_slack + n_art;
+        // Tableau: m rows of [coeffs | rhs].
+        let mut t = vec![vec![0.0; total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut s_idx = self.n;
+        let mut a_idx = self.n + n_slack;
+        for (i, (coef, cmp, b)) in rows.iter().enumerate() {
+            t[i][..self.n].copy_from_slice(coef);
+            t[i][total] = *b;
+            match cmp {
+                Cmp::Le => {
+                    t[i][s_idx] = 1.0;
+                    basis[i] = s_idx;
+                    s_idx += 1;
+                }
+                Cmp::Ge => {
+                    t[i][s_idx] = -1.0;
+                    s_idx += 1;
+                    t[i][a_idx] = 1.0;
+                    basis[i] = a_idx;
+                    a_idx += 1;
+                }
+                Cmp::Eq => {
+                    t[i][a_idx] = 1.0;
+                    basis[i] = a_idx;
+                    a_idx += 1;
+                }
+            }
+        }
+
+        // Phase 1: minimize the sum of artificial variables.
+        if n_art > 0 {
+            let mut c1 = vec![0.0; total];
+            for cj in c1.iter_mut().skip(self.n + n_slack) {
+                *cj = 1.0;
+            }
+            match run_simplex(&mut t, &mut basis, &c1, total) {
+                SimplexOutcome::Optimal(obj) => {
+                    if obj > EPS {
+                        return LpSolution {
+                            status: LpStatus::Infeasible,
+                            x: Vec::new(),
+                            objective: f64::NAN,
+                        };
+                    }
+                }
+                SimplexOutcome::Unbounded => {
+                    // Phase-1 objective is bounded below by 0; unbounded
+                    // here means numerical trouble — treat as infeasible.
+                    return LpSolution {
+                        status: LpStatus::Infeasible,
+                        x: Vec::new(),
+                        objective: f64::NAN,
+                    };
+                }
+            }
+            // Drive any artificial variables out of the basis.
+            for i in 0..m {
+                if basis[i] >= self.n + n_slack {
+                    // Find a non-artificial column with nonzero coefficient.
+                    let mut pivoted = false;
+                    for j in 0..(self.n + n_slack) {
+                        if t[i][j].abs() > EPS {
+                            pivot(&mut t, &mut basis, i, j, total);
+                            pivoted = true;
+                            break;
+                        }
+                    }
+                    if !pivoted {
+                        // Row is redundant (all-zero over real columns);
+                        // its rhs must be ~0 after phase 1. Leave it — the
+                        // artificial stays basic at value 0 and is barred
+                        // from re-entering in phase 2 below.
+                    }
+                }
+            }
+        }
+
+        // Phase 2: original objective; artificial columns barred.
+        let mut c2 = vec![0.0; total];
+        c2[..self.n].copy_from_slice(&self.c);
+        let barred = self.n + n_slack;
+        match run_simplex_barred(&mut t, &mut basis, &c2, total, barred) {
+            SimplexOutcome::Optimal(obj) => {
+                let mut x = vec![0.0; self.n];
+                for (i, &b) in basis.iter().enumerate() {
+                    if b < self.n {
+                        x[b] = t[i][total];
+                    }
+                }
+                LpSolution {
+                    status: LpStatus::Optimal,
+                    x,
+                    objective: obj,
+                }
+            }
+            SimplexOutcome::Unbounded => LpSolution {
+                status: LpStatus::Unbounded,
+                x: Vec::new(),
+                objective: f64::NEG_INFINITY,
+            },
+        }
+    }
+}
+
+enum SimplexOutcome {
+    Optimal(f64),
+    Unbounded,
+}
+
+fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], c: &[f64], total: usize) -> SimplexOutcome {
+    run_simplex_barred(t, basis, c, total, total)
+}
+
+/// Simplex iterations with Bland's rule; columns `>= barred` may not enter.
+fn run_simplex_barred(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    c: &[f64],
+    total: usize,
+    barred: usize,
+) -> SimplexOutcome {
+    const EPS: f64 = 1e-9;
+    let m = t.len();
+    loop {
+        // Reduced costs: r_j = c_j − c_Bᵀ B⁻¹ A_j, computed from the tableau.
+        let mut entering = None;
+        for j in 0..barred.min(total) {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut rj = c[j];
+            for i in 0..m {
+                rj -= c[basis[i]] * t[i][j];
+            }
+            if rj < -EPS {
+                entering = Some(j); // Bland: first improving index
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            let mut obj = 0.0;
+            for i in 0..m {
+                obj += c[basis[i]] * t[i][total];
+            }
+            return SimplexOutcome::Optimal(obj);
+        };
+        // Ratio test (Bland: smallest basis index among ties).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..m {
+            if t[i][j] > EPS {
+                let ratio = t[i][total] / t[i][j];
+                if ratio < best - EPS
+                    || (ratio < best + EPS && leave.is_none_or(|l| basis[i] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(i) = leave else {
+            return SimplexOutcome::Unbounded;
+        };
+        pivot(t, basis, i, j, total);
+    }
+}
+
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total: usize) {
+    let piv = t[row][col];
+    for v in t[row].iter_mut() {
+        *v /= piv;
+    }
+    for i in 0..t.len() {
+        if i == row {
+            continue;
+        }
+        let f = t[i][col];
+        if f == 0.0 {
+            continue;
+        }
+        // Rows `i` and `row` alias inside `t`; clone the pivot row once per
+        // call site is wasteful, so index explicitly.
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..=total {
+            t[i][j] -= f * t[row][j];
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let mut lp = LinearProgram::new(2, vec![-3.0, -5.0]);
+        lp.constrain(vec![1.0, 0.0], Cmp::Le, 4.0)
+            .constrain(vec![0.0, 2.0], Cmp::Le, 12.0)
+            .constrain(vec![3.0, 2.0], Cmp::Le, 18.0);
+        let sol = lp.minimize();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, -36.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y s.t. x + y = 2, x ≥ 0.5 → obj 2.
+        let mut lp = LinearProgram::new(2, vec![1.0, 1.0]);
+        lp.constrain(vec![1.0, 1.0], Cmp::Eq, 2.0)
+            .constrain(vec![1.0, 0.0], Cmp::Ge, 0.5);
+        let sol = lp.minimize();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.0);
+        assert!(sol.x[0] >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LinearProgram::new(1, vec![1.0]);
+        lp.constrain(vec![1.0], Cmp::Le, 1.0)
+            .constrain(vec![1.0], Cmp::Ge, 2.0);
+        assert_eq!(lp.minimize().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min −x s.t. x ≥ 1 → unbounded below.
+        let mut lp = LinearProgram::new(1, vec![-1.0]);
+        lp.constrain(vec![1.0], Cmp::Ge, 1.0);
+        assert_eq!(lp.minimize().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x ≥ 0, −x ≤ −1  ⇔  x ≥ 1; min x → 1.
+        let mut lp = LinearProgram::new(1, vec![1.0]);
+        lp.constrain(vec![-1.0], Cmp::Le, -1.0);
+        let sol = lp.minimize();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Degenerate vertex at the origin with redundant constraints.
+        let mut lp = LinearProgram::new(2, vec![-1.0, -1.0]);
+        lp.constrain(vec![1.0, 0.0], Cmp::Le, 0.0)
+            .constrain(vec![1.0, 1.0], Cmp::Le, 0.0)
+            .constrain(vec![0.0, 1.0], Cmp::Le, 0.0)
+            .constrain(vec![1.0, 2.0], Cmp::Le, 0.0);
+        let sol = lp.minimize();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn l1_interpolation_shape() {
+        // min |z1 − 1| + |z2 − 5| s.t. z1 ≤ z2 ≤ 2 z1 (chain with a = [1, 2]).
+        // Encoded with split variables t⁺/t⁻.
+        // Vars: z1 z2 t1 t2; min t1 + t2
+        // t1 ≥ z1 − 1, t1 ≥ 1 − z1, t2 ≥ z2 − 5, t2 ≥ 5 − z2,
+        // z1 − z2 ≤ 0, z2 − 2 z1 ≤ 0.
+        let mut lp = LinearProgram::new(4, vec![0.0, 0.0, 1.0, 1.0]);
+        lp.constrain(vec![1.0, 0.0, -1.0, 0.0], Cmp::Le, 1.0)
+            .constrain(vec![-1.0, 0.0, -1.0, 0.0], Cmp::Le, -1.0)
+            .constrain(vec![0.0, 1.0, 0.0, -1.0], Cmp::Le, 5.0)
+            .constrain(vec![0.0, -1.0, 0.0, -1.0], Cmp::Le, -5.0)
+            .constrain(vec![1.0, -1.0, 0.0, 0.0], Cmp::Le, 0.0)
+            .constrain(vec![-2.0, 1.0, 0.0, 0.0], Cmp::Le, 0.0);
+        let sol = lp.minimize();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // Optimum: z2 = 2 z1; minimize |z1−1| + |2z1−5| → z1 ∈ [1, 2.5] ⇒
+        // pick z1 = 2.5? value |1.5| + 0 = 1.5; z1 = 1 → 0 + 3 = 3. Best 1.5.
+        assert_close(sol.objective, 1.5);
+    }
+
+    #[test]
+    fn redundant_equality_rows_ok() {
+        let mut lp = LinearProgram::new(2, vec![1.0, 2.0]);
+        lp.constrain(vec![1.0, 1.0], Cmp::Eq, 2.0)
+            .constrain(vec![2.0, 2.0], Cmp::Eq, 4.0); // redundant duplicate
+        let sol = lp.minimize();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.0); // all weight on x1
+    }
+}

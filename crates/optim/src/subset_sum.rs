@@ -1,0 +1,111 @@
+//! Unbounded subset-sum and the executable Theorem 7 reduction.
+//!
+//! Theorem 7 of the paper proves that *subadditive interpolation* is
+//! coNP-hard by reduction from unbounded subset-sum: given positive integers
+//! `w₁ < … < w_n < K`, there is a monotone subadditive function through the
+//! points `{(w_j, w_j)} ∪ {(K, K + ½)}` **iff** no non-negative integer
+//! combination `Σ k_j w_j` equals `K` exactly.
+//!
+//! This module makes both sides of the reduction executable so tests can
+//! verify the equivalence — a nice end-to-end check that the
+//! [`knapsack`](crate::knapsack) feasibility oracle implements the same
+//! notion of subadditivity the theorem reasons about.
+
+use crate::knapsack::subadditive_interpolation_feasible;
+
+/// Decides unbounded subset-sum: do non-negative integers `k_j` exist with
+/// `Σ k_j · w_j = target`? Classic DP in `O(target · n)`.
+///
+/// # Panics
+/// Panics when any weight is zero (an item of weight zero makes the
+/// "unbounded" problem degenerate).
+pub fn unbounded_subset_sum(weights: &[u64], target: u64) -> bool {
+    assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+    let t = target as usize;
+    let mut reach = vec![false; t + 1];
+    reach[0] = true;
+    for x in 1..=t {
+        for &w in weights {
+            let w = w as usize;
+            if w <= x && reach[x - w] {
+                reach[x] = true;
+                break;
+            }
+        }
+    }
+    reach[t]
+}
+
+/// Builds the Theorem 7 interpolation instance for weights `w` and target
+/// `K`: points `(w_j, w_j)` for each weight plus `(K, K + ½)`.
+pub fn theorem7_instance(weights: &[u64], target: u64) -> Vec<(u64, f64)> {
+    assert!(
+        weights.iter().all(|&w| w < target),
+        "reduction requires all weights below the target"
+    );
+    let mut pts: Vec<(u64, f64)> = weights.iter().map(|&w| (w, w as f64)).collect();
+    pts.push((target, target as f64 + 0.5));
+    pts
+}
+
+/// Runs the full reduction: returns `(subset_sum_exists, interpolation_feasible)`.
+///
+/// Theorem 7 asserts these are always logical negations of each other.
+pub fn check_reduction(weights: &[u64], target: u64) -> (bool, bool) {
+    let sum_exists = unbounded_subset_sum(weights, target);
+    let feasible = subadditive_interpolation_feasible(&theorem7_instance(weights, target), 1e-9);
+    (sum_exists, feasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_sum_basics() {
+        assert!(unbounded_subset_sum(&[3, 5], 8)); // 3 + 5
+        assert!(unbounded_subset_sum(&[3, 5], 9)); // 3·3
+        assert!(!unbounded_subset_sum(&[3, 5], 7));
+        assert!(!unbounded_subset_sum(&[3, 5], 4));
+        assert!(unbounded_subset_sum(&[3, 5], 0)); // empty combination
+        assert!(!unbounded_subset_sum(&[2, 4], 9)); // parity obstruction
+    }
+
+    #[test]
+    fn reduction_negative_case() {
+        // 7 is not an unbounded sum of {3, 5} → interpolation feasible.
+        let (sum, feas) = check_reduction(&[3, 5], 7);
+        assert!(!sum);
+        assert!(feas);
+    }
+
+    #[test]
+    fn reduction_positive_case() {
+        // 8 = 3 + 5 → pricing (8, 8.5) is undercut by 3 + 5 = 8 → infeasible.
+        let (sum, feas) = check_reduction(&[3, 5], 8);
+        assert!(sum);
+        assert!(!feas);
+    }
+
+    #[test]
+    fn reduction_equivalence_sweep() {
+        // Theorem 7's iff, exhaustively for a family of instances.
+        let weight_sets: &[&[u64]] = &[&[2], &[2, 3], &[4, 6], &[3, 5, 7], &[5, 9]];
+        for &ws in weight_sets {
+            let max_w = *ws.iter().max().unwrap();
+            for target in (max_w + 1)..=(max_w * 4) {
+                let (sum, feas) = check_reduction(ws, target);
+                assert_eq!(
+                    sum, !feas,
+                    "reduction mismatch for weights {ws:?}, target {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below the target")]
+    fn instance_rejects_oversized_weights() {
+        theorem7_instance(&[5], 5);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the optimization substrate.
+
+use mbp_optim::exact::{maximize_revenue_exact, BuyerPoint};
+use mbp_optim::isotonic::{is_relaxed_feasible, pava_non_decreasing, project_relaxed_cone};
+use mbp_optim::knapsack::{CoverOracle, Item};
+use mbp_optim::simplex::{Cmp, LinearProgram, LpStatus};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PAVA output is isotonic and is a *projection*: it never moves a
+    /// point further than the raw violation requires (firmly nonexpansive
+    /// in particular means ‖pava(y) − y‖ ≤ ‖z − y‖ for any feasible z; we
+    /// check against the sorted input as one such feasible point).
+    #[test]
+    fn pava_is_isotonic_projection(ys in prop::collection::vec(-10.0..10.0f64, 1..24)) {
+        let w = vec![1.0; ys.len()];
+        let out = pava_non_decreasing(&ys, &w);
+        for pair in out.windows(2) {
+            prop_assert!(pair[0] <= pair[1] + 1e-12);
+        }
+        // Projection optimality: distance to output ≤ distance to any
+        // isotonic candidate; use the sorted input as candidate.
+        let mut sorted = ys.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let dist = |z: &[f64]| -> f64 {
+            z.iter().zip(&ys).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        prop_assert!(dist(&out) <= dist(&sorted) + 1e-9);
+        // Mean is preserved (PAVA pools means).
+        let mean_in: f64 = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mean_out: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        prop_assert!((mean_in - mean_out).abs() < 1e-9);
+    }
+
+    /// Dykstra's projection always lands in the cone, and projecting twice
+    /// is the same as projecting once (idempotence).
+    #[test]
+    fn dykstra_projection_idempotent(
+        ys in prop::collection::vec(0.0..20.0f64, 1..12),
+        gaps in prop::collection::vec(0.5..3.0f64, 1..12),
+    ) {
+        let n = ys.len().min(gaps.len());
+        let ys = &ys[..n];
+        let mut a = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for g in &gaps[..n] {
+            acc += g;
+            a.push(acc);
+        }
+        let p1 = project_relaxed_cone(ys, &a, 1e-10);
+        prop_assert!(is_relaxed_feasible(&p1.z, &a, 1e-7), "residual {}", p1.residual);
+        let p2 = project_relaxed_cone(&p1.z, &a, 1e-10);
+        for (x, y) in p1.z.iter().zip(&p2.z) {
+            prop_assert!((x - y).abs() < 1e-6, "not idempotent: {x} vs {y}");
+        }
+    }
+
+    /// The covering oracle is monotone and subadditive for arbitrary item
+    /// sets — the properties that make `μ` a valid pricing extension.
+    #[test]
+    fn cover_oracle_monotone_subadditive(
+        items in prop::collection::vec((1u64..12, 0.1..20.0f64), 1..6)
+    ) {
+        let its: Vec<Item> = items.iter().map(|&(w, c)| Item::new(w, c)).collect();
+        let horizon = 30u64;
+        let oracle = CoverOracle::build(&its, horizon);
+        for x in 0..horizon {
+            prop_assert!(oracle.mu(x) <= oracle.mu(x + 1) + 1e-12);
+        }
+        for x in 0..=15u64 {
+            for y in 0..=(horizon - 15) {
+                prop_assert!(oracle.mu(x + y) <= oracle.mu(x) + oracle.mu(y) + 1e-9);
+            }
+        }
+    }
+
+    /// The branch-and-bound exact solver agrees with dumb full enumeration
+    /// of served subsets on random small instances.
+    #[test]
+    fn exact_solver_matches_enumeration(
+        raw in prop::collection::vec((1u64..5, 0.5..40.0f64, 0.1..2.0f64), 1..6)
+    ) {
+        // Build strictly increasing integer grid.
+        let mut a = 0u64;
+        let mut pts = Vec::new();
+        for &(da, v, b) in &raw {
+            a += da;
+            pts.push(BuyerPoint::new(a, v, b));
+        }
+        let sol = maximize_revenue_exact(&pts);
+        // Enumerate every subset by brute force.
+        let n = pts.len();
+        let horizon = pts.last().unwrap().a;
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let items: Vec<Item> = pts
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| mask & (1 << j) != 0)
+                .map(|(_, p)| Item::new(p.a, p.valuation))
+                .collect();
+            if items.is_empty() {
+                continue;
+            }
+            let oracle = CoverOracle::build(&items, horizon);
+            let mut rev = 0.0;
+            for p in &pts {
+                let w = oracle.mu(p.a);
+                if w <= p.valuation {
+                    rev += p.demand * w;
+                }
+            }
+            best = best.max(rev);
+        }
+        prop_assert!((sol.revenue - best).abs() < 1e-9, "{} vs {best}", sol.revenue);
+    }
+
+    /// Simplex on random feasible bounded LPs returns a point that is
+    /// feasible and no worse than a sampled interior candidate.
+    #[test]
+    fn simplex_feasible_and_competitive(
+        c in prop::collection::vec(-3.0..3.0f64, 2..5),
+        rows in prop::collection::vec((prop::collection::vec(0.1..2.0f64, 4), 1.0..10.0f64), 1..5),
+    ) {
+        let n = c.len();
+        let mut lp = LinearProgram::new(n, c.clone());
+        // All-positive coefficients with positive rhs: bounded iff c >= 0
+        // could still be unbounded for negative c; add a box to bound.
+        for (coef, b) in &rows {
+            lp.constrain(coef[..n].to_vec(), Cmp::Le, *b);
+        }
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            lp.constrain(e, Cmp::Le, 5.0);
+        }
+        let sol = lp.minimize();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        // Feasibility.
+        for (coef, b) in &rows {
+            let lhs: f64 = coef[..n].iter().zip(&sol.x).map(|(a, x)| a * x).sum();
+            prop_assert!(lhs <= b + 1e-7);
+        }
+        for &x in &sol.x {
+            prop_assert!((-1e-9..=5.0 + 1e-7).contains(&x));
+        }
+        // The origin is feasible, so the optimum is ≤ 0 whenever it
+        // beats the origin's objective (0).
+        prop_assert!(sol.objective <= 1e-9);
+    }
+}

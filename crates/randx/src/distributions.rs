@@ -1,0 +1,400 @@
+use rand::Rng;
+
+/// A sampleable scalar or vector distribution.
+///
+/// Mirrors `rand_distr::Distribution` but is implemented locally: the
+/// approved dependency list carries only the `rand` core, so the actual
+/// distributions (normal, Laplace, …) are hand-rolled here.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng` as the bit source.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)` via Marsaglia's polar method.
+///
+/// Polar (a rejection variant of Box–Muller) avoids trigonometric calls and
+/// caches the second variate of each accepted pair is *not* done here — each
+/// call draws a fresh pair and discards the spare, trading a constant factor
+/// for statelessness (the sampler can then be shared freely across threads).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+/// The normal distribution `N(mean, sd²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, sd²)`.
+    ///
+    /// # Panics
+    /// Panics when `sd` is negative or non-finite — a negative standard
+    /// deviation is a programming error, not a recoverable condition.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(
+            sd >= 0.0 && sd.is_finite() && mean.is_finite(),
+            "Normal requires finite mean and sd >= 0, got mean={mean}, sd={sd}"
+        );
+        Normal { mean, sd }
+    }
+
+    /// The mean parameter.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard-deviation parameter.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * StandardNormal.sample(rng)
+    }
+}
+
+/// The zero-mean Laplace distribution with scale `b` (variance `2b²`).
+///
+/// Example 2 of the paper notes Laplace noise as an alternative unbiased
+/// mechanism; sampling is by inverse CDF.
+#[derive(Debug, Clone, Copy)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with the given scale.
+    ///
+    /// # Panics
+    /// Panics when `scale` is not strictly positive and finite.
+    pub fn new(scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "Laplace requires scale > 0, got {scale}"
+        );
+        Laplace { scale }
+    }
+
+    /// The scale parameter `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The variance `2b²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+}
+
+impl Distribution<f64> for Laplace {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: u ~ U(-1/2, 1/2); x = -b·sgn(u)·ln(1 - 2|u|).
+        let u: f64 = rng.gen_range(-0.5..0.5);
+        -self.scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+}
+
+/// The continuous uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Creates `U[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "UniformRange requires finite lo < hi, got [{lo}, {hi})"
+        );
+        UniformRange { lo, hi }
+    }
+
+    /// The mean `(lo + hi) / 2`.
+    pub fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// The variance `(hi − lo)² / 12`.
+    pub fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+}
+
+impl Distribution<f64> for UniformRange {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+}
+
+/// The paper's noise law `W_δ = N(0, (δ/d)·I_d)` (Section 4.1, Figure 4):
+/// a `d`-dimensional isotropic Gaussian whose *total* expected squared norm
+/// is `E[‖w‖²] = d · (δ/d) = δ`.
+#[derive(Debug, Clone, Copy)]
+pub struct IsotropicGaussian {
+    dim: usize,
+    per_coord_variance: f64,
+}
+
+impl IsotropicGaussian {
+    /// Creates the paper's `W_δ` for a `d`-dimensional hypothesis space:
+    /// each coordinate is `N(0, δ/d)`.
+    ///
+    /// # Panics
+    /// Panics when `dim == 0` or `ncp` (the noise control parameter δ) is
+    /// negative or non-finite. `ncp == 0` is allowed and yields the
+    /// degenerate point mass at the origin (the noiseless optimal model).
+    pub fn from_ncp(dim: usize, ncp: f64) -> Self {
+        assert!(dim > 0, "IsotropicGaussian requires dim > 0");
+        assert!(
+            ncp >= 0.0 && ncp.is_finite(),
+            "IsotropicGaussian requires ncp >= 0, got {ncp}"
+        );
+        IsotropicGaussian {
+            dim,
+            per_coord_variance: ncp / dim as f64,
+        }
+    }
+
+    /// Creates an isotropic Gaussian with a given per-coordinate variance.
+    pub fn per_coordinate(dim: usize, variance: f64) -> Self {
+        assert!(dim > 0, "IsotropicGaussian requires dim > 0");
+        assert!(
+            variance >= 0.0 && variance.is_finite(),
+            "variance must be >= 0, got {variance}"
+        );
+        IsotropicGaussian {
+            dim,
+            per_coord_variance: variance,
+        }
+    }
+
+    /// The dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The per-coordinate variance `δ/d`.
+    pub fn per_coord_variance(&self) -> f64 {
+        self.per_coord_variance
+    }
+
+    /// The total expected squared norm `E[‖w‖²] = δ`.
+    pub fn expected_squared_norm(&self) -> f64 {
+        self.per_coord_variance * self.dim as f64
+    }
+}
+
+impl Distribution<Vec<f64>> for IsotropicGaussian {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let sd = self.per_coord_variance.sqrt();
+        (0..self.dim)
+            .map(|_| sd * StandardNormal.sample(rng))
+            .collect()
+    }
+}
+
+/// A categorical distribution over `0..k` with arbitrary non-negative
+/// weights — buyer-arrival sampling in the market simulators.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from unnormalized weights.
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty, contains a negative/non-finite
+    /// entry, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one category");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "weights must be finite and >= 0"
+        );
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "total weight must be positive");
+        Categorical { cumulative }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` when there are no categories (never: the constructor forbids
+    /// it, kept for clippy's `len`-without-`is_empty` convention).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+impl Distribution<usize> for Categorical {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u: f64 = rng.gen_range(0.0..total);
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded_rng(11);
+        let xs: Vec<f64> = (0..200_000)
+            .map(|_| StandardNormal.sample(&mut rng))
+            .collect();
+        let (m, v) = moments(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "var {v}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = seeded_rng(12);
+        let d = Normal::new(3.0, 2.0);
+        let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - 3.0).abs() < 0.03);
+        assert!((v - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn laplace_moments() {
+        let mut rng = seeded_rng(13);
+        let d = Laplace::new(1.5);
+        let xs: Vec<f64> = (0..300_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, v) = moments(&xs);
+        assert!(m.abs() < 0.03, "mean {m}");
+        assert!(
+            (v - d.variance()).abs() < 0.15,
+            "var {v} expected {}",
+            d.variance()
+        );
+    }
+
+    #[test]
+    fn uniform_range_moments() {
+        let mut rng = seeded_rng(14);
+        let d = UniformRange::new(-2.0, 4.0);
+        let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, v) = moments(&xs);
+        assert!((m - d.mean()).abs() < 0.02);
+        assert!((v - d.variance()).abs() < 0.05);
+        assert!(xs.iter().all(|&x| (-2.0..4.0).contains(&x)));
+    }
+
+    /// Lemma 3 at the distribution level: `E[‖w‖²] = δ` for `w ~ W_δ`.
+    #[test]
+    fn isotropic_gaussian_expected_norm_is_ncp() {
+        let mut rng = seeded_rng(15);
+        let ncp = 2.5;
+        let d = IsotropicGaussian::from_ncp(8, ncp);
+        assert!((d.expected_squared_norm() - ncp).abs() < 1e-12);
+        let mean_sq: f64 = (0..50_000)
+            .map(|_| {
+                let w = d.sample(&mut rng);
+                w.iter().map(|x| x * x).sum::<f64>()
+            })
+            .sum::<f64>()
+            / 50_000.0;
+        assert!(
+            (mean_sq - ncp).abs() < 0.05,
+            "measured {mean_sq}, want {ncp}"
+        );
+    }
+
+    #[test]
+    fn zero_ncp_is_noiseless() {
+        let mut rng = seeded_rng(16);
+        let d = IsotropicGaussian::from_ncp(4, 0.0);
+        let w = d.sample(&mut rng);
+        assert!(w.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ncp >= 0")]
+    fn negative_ncp_panics() {
+        let _ = IsotropicGaussian::from_ncp(4, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale > 0")]
+    fn laplace_rejects_zero_scale() {
+        let _ = Laplace::new(0.0);
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let mut rng = seeded_rng(17);
+        let cat = Categorical::new(&[1.0, 3.0, 0.0, 6.0]);
+        let mut counts = [0usize; 4];
+        let reps = 100_000;
+        for _ in 0..reps {
+            counts[cat.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-weight category was sampled");
+        let f1 = counts[1] as f64 / reps as f64;
+        let f3 = counts[3] as f64 / reps as f64;
+        assert!((f1 - 0.3).abs() < 0.01, "{f1}");
+        assert!((f3 - 0.6).abs() < 0.01, "{f3}");
+    }
+
+    #[test]
+    fn categorical_single_category() {
+        let mut rng = seeded_rng(18);
+        let cat = Categorical::new(&[5.0]);
+        assert_eq!(cat.len(), 1);
+        assert!(!cat.is_empty());
+        for _ in 0..10 {
+            assert_eq!(cat.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight")]
+    fn categorical_rejects_all_zero() {
+        Categorical::new(&[0.0, 0.0]);
+    }
+}
