@@ -25,6 +25,38 @@ pub fn fmt(x: f64) -> String {
     }
 }
 
+/// Prints a titled table of every metric in an [`mbp_obs`] snapshot: one
+/// row per counter and gauge, and one per histogram with count, mean, and
+/// interpolated p50/p99 (formatted as durations, since the workspace's
+/// histograms record span wall-times in seconds).
+pub fn print_metrics(title: &str, snap: &mbp_obs::Snapshot) {
+    if snap.is_empty() {
+        return;
+    }
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (name, v) in &snap.counters {
+        rows.push(vec![name.clone(), "counter".into(), v.to_string()]);
+    }
+    for (name, v) in &snap.gauges {
+        rows.push(vec![name.clone(), "gauge".into(), fmt(*v)]);
+    }
+    for h in &snap.histograms {
+        let q = |x: Option<f64>| x.map_or_else(|| "-".to_string(), fmt_secs);
+        rows.push(vec![
+            h.name.clone(),
+            "histogram".into(),
+            format!(
+                "count {} mean {} p50 {} p99 {}",
+                h.count,
+                fmt_secs(h.mean()),
+                q(h.p50),
+                q(h.p99)
+            ),
+        ]);
+    }
+    print_table(title, &["metric", "kind", "value"], &rows);
+}
+
 /// Formats a duration in seconds with appropriate precision.
 pub fn fmt_secs(s: f64) -> String {
     if s < 1e-6 {
@@ -48,6 +80,17 @@ mod tests {
         assert_eq!(fmt(1234.5), "1234.5");
         assert_eq!(fmt(2.71911), "2.719");
         assert_eq!(fmt(0.001234), "0.00123");
+    }
+
+    #[test]
+    fn print_metrics_handles_empty_and_populated_snapshots() {
+        print_metrics("empty", &mbp_obs::Snapshot::default()); // prints nothing
+        let snap = mbp_obs::Snapshot {
+            counters: vec![("mbp.test.count".into(), 3)],
+            gauges: vec![("mbp.test.gauge".into(), 1.5)],
+            histograms: Vec::new(),
+        };
+        print_metrics("populated", &snap); // smoke: must not panic
     }
 
     #[test]

@@ -13,8 +13,6 @@ pub struct Args {
 /// Errors from argument parsing and lookup.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArgError {
-    /// A `--flag` was not followed by a value.
-    MissingValue(String),
     /// A positional argument appeared where a flag was expected.
     UnexpectedPositional(String),
     /// A required flag was absent.
@@ -33,7 +31,6 @@ pub enum ArgError {
 impl fmt::Display for ArgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ArgError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
             ArgError::UnexpectedPositional(arg) => {
                 write!(f, "unexpected positional argument {arg:?}")
             }
@@ -53,7 +50,9 @@ impl std::error::Error for ArgError {}
 
 impl Args {
     /// Parses `argv` (without the program name): first token is the
-    /// subcommand, the rest alternate `--flag value`.
+    /// subcommand, the rest are `--flag value` pairs or bare `--flag`
+    /// switches. A flag followed by another `--flag` (or by nothing)
+    /// stores the empty string; [`Args::get_bool`] treats that as `true`.
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
         let mut out = Args::default();
         let mut it = argv.into_iter().peekable();
@@ -66,8 +65,9 @@ impl Args {
             let Some(name) = tok.strip_prefix("--") else {
                 return Err(ArgError::UnexpectedPositional(tok));
             };
-            let Some(value) = it.next() else {
-                return Err(ArgError::MissingValue(name.to_string()));
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().expect("peeked"),
+                _ => String::new(),
             };
             out.flags.insert(name.to_string(), value);
         }
@@ -88,6 +88,12 @@ impl Args {
     pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
         self.get(flag)
             .ok_or_else(|| ArgError::Required(flag.into()))
+    }
+
+    /// Boolean switch: `true` for bare `--flag` and for the explicit
+    /// truthy spellings; `false` when absent or set to anything else.
+    pub fn get_bool(&self, flag: &str) -> bool {
+        matches!(self.get(flag), Some("" | "true" | "1" | "yes" | "on"))
     }
 
     /// Optional `f64` flag with a default.
@@ -188,10 +194,6 @@ mod tests {
     #[test]
     fn errors_are_specific() {
         assert_eq!(
-            Args::parse(argv("x --flag")),
-            Err(ArgError::MissingValue("flag".into()))
-        );
-        assert_eq!(
             Args::parse(argv("x stray")),
             Err(ArgError::UnexpectedPositional("stray".into()))
         );
@@ -204,6 +206,21 @@ mod tests {
             a.require("missing"),
             Err(ArgError::Required("missing".into()))
         );
+    }
+
+    #[test]
+    fn bare_flags_are_boolean_switches() {
+        let a = Args::parse(argv("run --trace --seed 9 --verbose")).unwrap();
+        assert!(a.get_bool("trace"));
+        assert!(a.get_bool("verbose"));
+        assert_eq!(a.get_u64("seed", 0).unwrap(), 9);
+        assert!(!a.get_bool("absent"));
+        let b = Args::parse(argv("run --trace yes --quiet false")).unwrap();
+        assert!(b.get_bool("trace"));
+        assert!(!b.get_bool("quiet"));
+        // A trailing bare flag is fine too.
+        let c = Args::parse(argv("run --trace")).unwrap();
+        assert!(c.get_bool("trace"));
     }
 
     #[test]

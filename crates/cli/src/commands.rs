@@ -70,8 +70,17 @@ COMMANDS:
   sell      --csv F --model M     train, price, and release one noisy
             --budget P [--grid lo,hi,n] [--seed S] [--out MODEL_TSV]
                                   instance within budget
+  simulate  [--csv F] [--model M] run a Monte-Carlo selling season against
+            [--buyers N] [--jitter J] the derived arbitrage-free pricing
+            [--grid lo,hi,n] [--seed S] (synthetic Simulated1 data when no
+            [--ridge MU] [--lambda L]   CSV is given)
   predict   --model MODEL_TSV     score a CSV with a saved model instance
             --csv F
+
+GLOBAL FLAGS (every command):
+  --metrics-out PATH   write a JSON metrics snapshot after the command
+  --trace              record span/trace events, appended to the report
+  --verbose            record debug-level events as well
 
 MODELS: linreg | logreg | svm
 VALUE SHAPES: linear | convex | concave | sigmoid
@@ -80,8 +89,43 @@ DEMAND SHAPES: uniform | peak | bimodal | increasing | decreasing
     .to_string()
 }
 
-/// Dispatches a parsed command line.
+/// Dispatches a parsed command line, honoring the global observability
+/// flags: `--metrics-out PATH` (JSON snapshot of every `mbp.*` metric),
+/// `--trace` (trace-level events appended to the report), and `--verbose`
+/// (debug-level events). Any of them enables the otherwise-inert
+/// [`mbp_obs`] registry before the command runs.
 pub fn run(args: &Args) -> Result<String, CliError> {
+    let trace = args.get_bool("trace");
+    let verbose = args.get_bool("verbose");
+    let metrics_out = args.get("metrics-out");
+    if trace || verbose || metrics_out.is_some() {
+        mbp_obs::enable();
+        if trace {
+            mbp_obs::set_verbosity(mbp_obs::Verbosity::Trace);
+        } else if verbose {
+            mbp_obs::set_verbosity(mbp_obs::Verbosity::Debug);
+        }
+    }
+    let mut result = dispatch(args);
+    if let Some(path) = metrics_out {
+        let json = mbp_obs::to_json(&mbp_obs::snapshot());
+        if let Err(e) = std::fs::write(path, json) {
+            result = result.and(Err(CliError::Data(format!("writing {path}: {e}"))));
+        }
+    }
+    if trace || verbose {
+        if let Ok(report) = &mut result {
+            let events = mbp_obs::drain_events();
+            if !events.is_empty() {
+                report.push_str("── events ──\n");
+                report.push_str(&mbp_obs::events_to_jsonl(&events));
+            }
+        }
+    }
+    result
+}
+
+fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command() {
         None => Ok(usage()),
         Some("catalog") => cmd_catalog(),
@@ -90,6 +134,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Some("price") => cmd_price(args),
         Some("audit") => cmd_audit(args),
         Some("sell") => cmd_sell(args),
+        Some("simulate") => cmd_simulate(args),
         Some("predict") => cmd_predict(args),
         Some(other) => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -399,6 +444,92 @@ fn cmd_sell(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    use mbp_core::error::SquareLossTransform;
+    use mbp_core::market::simulation::{simulate_market, SimulationConfig};
+    use mbp_core::market::{Broker, Seller};
+
+    let seed = args.get_u64("seed", 7)?;
+    let mut rng = seeded_rng(seed);
+    let ds = match args.get("csv") {
+        Some(p) => load_csv(p)?,
+        // Default season: the paper's Simulated1 process, small enough to
+        // run in well under a second.
+        None => mbp_data::synth::simulated1(600, 4, 0.5, &mut rng),
+    };
+    let kind = match args.get("model") {
+        Some(raw) => parse_model(raw)?,
+        None => mbp_ml::ModelKind::LinearRegression,
+    };
+    let buyers = args.get_usize("buyers", 1000)?;
+    if buyers == 0 {
+        return Err(CliError::Args(ArgError::BadValue {
+            flag: "buyers".into(),
+            value: "0".into(),
+            expected: "a positive integer",
+        }));
+    }
+    let jitter = args.get_f64("jitter", 0.0)?;
+    let ridge = args.get_f64("ridge", 1e-6)?;
+    let grid = args.get_grid("grid", (10.0, 100.0, 10))?;
+    let value = parse_value_curve(args)?;
+    let demand = parse_demand_curve(args)?;
+    let tt = ds.split(0.75, &mut rng);
+    let seller = Seller::new(tt.clone(), grid, value, demand);
+    let mut broker = Broker::new(tt);
+    broker
+        .support(kind, ridge)
+        .map_err(|e| CliError::Market(e.to_string()))?;
+    // λ = 0 reduces to the plain Theorem 10 revenue maximization that
+    // `price_from_research` performs.
+    let lambda = args.get_f64("lambda", 0.0)?;
+    let pricing = solve_bv_dp_fair(&seller.buyer_population(), lambda).pricing;
+    let outcome = simulate_market(
+        &mut broker,
+        &seller,
+        kind,
+        &pricing,
+        &SquareLossTransform,
+        SimulationConfig {
+            n_buyers: buyers,
+            valuation_jitter: jitter,
+        },
+        &mut rng,
+    )
+    .map_err(|e| CliError::Market(e.to_string()))?;
+    let mut out = String::new();
+    writeln!(out, "model\t{}", kind.name()).unwrap();
+    writeln!(out, "buyers\t{buyers}").unwrap();
+    writeln!(out, "served\t{}", outcome.served).unwrap();
+    writeln!(out, "declined\t{}", outcome.declined).unwrap();
+    writeln!(
+        out,
+        "predicted_revenue_per_buyer\t{:.4}",
+        outcome.predicted_revenue_per_buyer
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "realized_revenue_per_buyer\t{:.4}",
+        outcome.realized_revenue_per_buyer
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "predicted_affordability\t{:.4}",
+        outcome.predicted_affordability
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "realized_affordability\t{:.4}",
+        outcome.realized_affordability()
+    )
+    .unwrap();
+    writeln!(out, "broker_revenue\t{:.4}", broker.total_revenue()).unwrap();
+    Ok(out)
+}
+
 fn cmd_predict(args: &Args) -> Result<String, CliError> {
     let model_path = args.require("model")?;
     let file = std::fs::File::open(model_path)
@@ -618,6 +749,52 @@ mod tests {
         .unwrap();
         let audit_out = run(&argv(&format!("audit --prices {}", out.display()))).unwrap();
         assert!(audit_out.contains("verdict\tCLEAN"), "{audit_out}");
+    }
+
+    #[test]
+    fn simulate_runs_on_synthetic_default() {
+        let out = run(&argv("simulate --buyers 200 --seed 11")).unwrap();
+        assert!(out.contains("served"), "{out}");
+        assert!(out.contains("realized_revenue_per_buyer"));
+        let served: usize = out
+            .lines()
+            .find(|l| l.starts_with("served"))
+            .and_then(|l| l.split('\t').nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let declined: usize = out
+            .lines()
+            .find(|l| l.starts_with("declined"))
+            .and_then(|l| l.split('\t').nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(served + declined, 200);
+    }
+
+    #[test]
+    fn metrics_out_writes_acceptance_metrics() {
+        let dir = std::env::temp_dir().join("mbp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        run(&argv(&format!(
+            "simulate --buyers 150 --seed 12 --metrics-out {}",
+            path.display()
+        )))
+        .unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"mbp.core.buy.count\""), "{json}");
+        assert!(json.contains("\"mbp.core.buy.seconds\""), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+        assert!(json.contains("\"mbp.optim.revenue.iterations\""), "{json}");
+    }
+
+    #[test]
+    fn trace_appends_events_to_report() {
+        let out = run(&argv("simulate --buyers 50 --seed 13 --trace")).unwrap();
+        assert!(out.contains("── events ──"), "{out}");
+        assert!(out.contains("\"target\""), "{out}");
     }
 
     #[test]

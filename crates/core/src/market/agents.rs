@@ -239,9 +239,17 @@ impl Broker {
         transform: Box<dyn ErrorTransform + Send + Sync>,
     ) -> Result<(), MarketError> {
         if !self.menu.contains_key(&kind) {
+            mbp_obs::inc("mbp.core.publish.rejected");
             return Err(MarketError::UnsupportedModel(kind));
         }
         self.listings.insert(kind, Listing { pricing, transform });
+        mbp_obs::inc("mbp.core.publish.count");
+        mbp_obs::event(
+            mbp_obs::Verbosity::Info,
+            "mbp.core.broker",
+            "listing published",
+            &[("kind", format!("{kind:?}"))],
+        );
         Ok(())
     }
 
@@ -252,25 +260,30 @@ impl Broker {
         request: PurchaseRequest,
         rng: &mut MbpRng,
     ) -> Result<Sale, MarketError> {
-        let listing = self
-            .listings
-            .get(&kind)
-            .ok_or(MarketError::UnsupportedModel(kind))?;
-        let entry = self
-            .menu
-            .get(&kind)
-            .ok_or(MarketError::UnsupportedModel(kind))?;
-        let (sale, tx) = execute_purchase(
-            entry,
-            self.mechanism.as_ref(),
-            &listing.pricing,
-            listing.transform.as_ref(),
-            kind,
-            request,
-            rng,
-        )?;
-        self.ledger.push(tx);
-        Ok(sale)
+        let _span = mbp_obs::span("mbp.core.buy");
+        let result = (|| {
+            let listing = self
+                .listings
+                .get(&kind)
+                .ok_or(MarketError::UnsupportedModel(kind))?;
+            let entry = self
+                .menu
+                .get(&kind)
+                .ok_or(MarketError::UnsupportedModel(kind))?;
+            let (sale, tx) = execute_purchase(
+                entry,
+                self.mechanism.as_ref(),
+                &listing.pricing,
+                listing.transform.as_ref(),
+                kind,
+                request,
+                rng,
+            )?;
+            self.ledger.push(tx);
+            Ok(sale)
+        })();
+        record_purchase_outcome(&result);
+        result
     }
 
     /// The published pricing for `kind`, if any.
@@ -286,7 +299,16 @@ impl Broker {
     /// Adds `kind` to the menu, training the optimal instance `h*_λ(D)` on
     /// the train split (the broker's one-time cost). Idempotent.
     pub fn support(&mut self, kind: ModelKind, ridge: f64) -> Result<&LinearModel, MarketError> {
+        let _span = mbp_obs::span("mbp.core.support");
+        mbp_obs::inc("mbp.core.support.count");
         if !self.menu.contains_key(&kind) {
+            mbp_obs::inc("mbp.core.support.trained");
+            mbp_obs::event(
+                mbp_obs::Verbosity::Info,
+                "mbp.core.broker",
+                "training optimal instance",
+                &[("kind", format!("{kind:?}")), ("ridge", format!("{ridge}"))],
+            );
             let weights = match kind {
                 ModelKind::LinearRegression => ridge_closed_form(&self.data.train, ridge)?,
                 ModelKind::LogisticRegression => {
@@ -363,21 +385,26 @@ impl Broker {
         transform: &dyn ErrorTransform,
         rng: &mut MbpRng,
     ) -> Result<Sale, MarketError> {
-        let entry = self
-            .menu
-            .get(&kind)
-            .ok_or(MarketError::UnsupportedModel(kind))?;
-        let (sale, tx) = execute_purchase(
-            entry,
-            self.mechanism.as_ref(),
-            pricing,
-            transform,
-            kind,
-            request,
-            rng,
-        )?;
-        self.ledger.push(tx);
-        Ok(sale)
+        let _span = mbp_obs::span("mbp.core.buy");
+        let result = (|| {
+            let entry = self
+                .menu
+                .get(&kind)
+                .ok_or(MarketError::UnsupportedModel(kind))?;
+            let (sale, tx) = execute_purchase(
+                entry,
+                self.mechanism.as_ref(),
+                pricing,
+                transform,
+                kind,
+                request,
+                rng,
+            )?;
+            self.ledger.push(tx);
+            Ok(sale)
+        })();
+        record_purchase_outcome(&result);
+        result
     }
 
     /// All completed transactions.
@@ -388,6 +415,27 @@ impl Broker {
     /// Total revenue collected so far.
     pub fn total_revenue(&self) -> f64 {
         self.ledger.iter().map(|t| t.price).sum()
+    }
+}
+
+/// Records the metrics for one purchase attempt: `mbp.core.buy.count` and
+/// the running `mbp.core.revenue.total` gauge on success,
+/// `mbp.core.buy.rejected` (plus an error event) on failure.
+fn record_purchase_outcome(result: &Result<Sale, MarketError>) {
+    match result {
+        Ok(sale) => {
+            mbp_obs::inc("mbp.core.buy.count");
+            mbp_obs::gauge_add("mbp.core.revenue.total", sale.price);
+        }
+        Err(e) => {
+            mbp_obs::inc("mbp.core.buy.rejected");
+            mbp_obs::event(
+                mbp_obs::Verbosity::Error,
+                "mbp.core.broker",
+                "purchase rejected",
+                &[("reason", e.to_string())],
+            );
+        }
     }
 }
 

@@ -91,8 +91,10 @@ pub fn run_adaptive_market(
     let arrivals = Categorical::new(&demands);
     let jitter = Normal::new(0.0, 1.0);
 
+    let _span = mbp_obs::span("mbp.core.adaptive");
     let mut reports = Vec::with_capacity(cfg.epochs);
     for epoch in 1..=cfg.epochs {
+        mbp_obs::inc("mbp.core.adaptive.epochs");
         // Post DP-optimal prices for the current estimate.
         let believed: Vec<BuyerPoint> = truth
             .iter()
@@ -153,12 +155,28 @@ pub fn run_adaptive_market(
             .sum::<f64>()
             / n as f64)
             .sqrt();
-        reports.push(EpochReport {
+        let report = EpochReport {
             epoch,
             revenue_per_buyer: revenue / cfg.buyers_per_epoch as f64,
             acceptance_rate: total_accepted as f64 / cfg.buyers_per_epoch as f64,
             estimate_rmse: rmse,
-        });
+        };
+        mbp_obs::gauge_set("mbp.core.adaptive.estimate_rmse", report.estimate_rmse);
+        mbp_obs::event(
+            mbp_obs::Verbosity::Debug,
+            "mbp.core.adaptive",
+            "epoch complete",
+            &[
+                ("epoch", epoch.to_string()),
+                (
+                    "revenue_per_buyer",
+                    format!("{:.6}", report.revenue_per_buyer),
+                ),
+                ("acceptance", format!("{:.4}", report.acceptance_rate)),
+                ("rmse", format!("{:.6}", report.estimate_rmse)),
+            ],
+        );
+        reports.push(report);
     }
     reports
 }

@@ -94,6 +94,7 @@ pub fn simulate_market(
     let arrivals = Categorical::new(&demands);
     let jitter = Normal::new(0.0, 1.0);
 
+    let _span = mbp_obs::span("mbp.core.simulate");
     let ledger_before = broker.total_revenue();
     let mut served = 0usize;
     let mut declined = 0usize;
@@ -120,6 +121,22 @@ pub fn simulate_market(
         }
     }
     let realized = broker.total_revenue() - ledger_before;
+    mbp_obs::counter_add("mbp.core.simulate.served", served as u64);
+    mbp_obs::counter_add("mbp.core.simulate.declined", declined as u64);
+    mbp_obs::event(
+        mbp_obs::Verbosity::Info,
+        "mbp.core.simulate",
+        "season complete",
+        &[
+            ("buyers", cfg.n_buyers.to_string()),
+            ("served", served.to_string()),
+            ("declined", declined.to_string()),
+            (
+                "realized_per_buyer",
+                format!("{:.6}", realized / cfg.n_buyers as f64),
+            ),
+        ],
+    );
     Ok(SimulationOutcome {
         predicted_revenue_per_buyer,
         realized_revenue_per_buyer: realized / cfg.n_buyers as f64,

@@ -61,6 +61,7 @@ pub struct GaussianMechanism;
 impl NoiseMechanism for GaussianMechanism {
     fn perturb(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng) -> Vector {
         check_ncp(ncp);
+        mbp_obs::inc("mbp.core.mechanism.gaussian.count");
         if ncp == 0.0 {
             return h_star.clone();
         }

@@ -176,6 +176,7 @@ pub fn solve_bv_dp_fair(points: &[BuyerPoint], lambda: f64) -> RevenueSolution {
 /// Shared Theorem 10 DP with a per-served-buyer reward of
 /// `b_k·z_k + bonus_k` (plain revenue maximization uses `bonus = 0`).
 fn dp_weighted(points: &[BuyerPoint], bonus: &[f64]) -> RevenueSolution {
+    let _span = mbp_obs::span("mbp.optim.revenue");
     let n = points.len();
     let a: Vec<f64> = points.iter().map(|p| p.a).collect();
     check_grid(&a);
@@ -260,6 +261,9 @@ fn dp_weighted(points: &[BuyerPoint], bonus: &[f64]) -> RevenueSolution {
         debug_assert!(k + 1 < n, "last point is never skipped");
         z[k] = z[k + 1] * a[k] / a[k + 1];
     }
+    // n·(n+1) DP cells evaluated, plus the reconstruction pass.
+    mbp_obs::counter_add("mbp.optim.revenue.iterations", (n * (n + 1) + n) as u64);
+    mbp_obs::counter_add("mbp.optim.revenue.priced_out", pending_skip.len() as u64);
     debug_assert!(
         is_relaxed_feasible(&z, &a, 1e-7),
         "DP produced an infeasible price vector: {z:?}"
@@ -276,6 +280,17 @@ fn dp_weighted(points: &[BuyerPoint], bonus: &[f64]) -> RevenueSolution {
         (objective + served_bonus - value[0][n]).abs() < 1e-6 * (1.0 + value[0][n].abs()),
         "reconstruction ({objective} + bonus {served_bonus}) disagrees with DP value ({})",
         value[0][n]
+    );
+    mbp_obs::gauge_set("mbp.optim.revenue.objective", objective);
+    mbp_obs::event(
+        mbp_obs::Verbosity::Debug,
+        "mbp.optim.revenue",
+        "theorem-10 DP solved",
+        &[
+            ("n", n.to_string()),
+            ("objective", format!("{objective:.6}")),
+            ("priced_out", pending_skip.len().to_string()),
+        ],
     );
     RevenueSolution {
         pricing: PricingFunction::from_points(a, z).expect("DP output is valid"),
@@ -315,6 +330,7 @@ pub fn solve_bv_exact(points: &[BuyerPoint], scale: f64) -> ExactSolution {
         .map(|(p, &q)| ExactPoint::new(q, p.valuation, p.demand))
         .collect();
     let sol = maximize_revenue_exact(&exact_points);
+    mbp_obs::counter_add("mbp.optim.exact.nodes", sol.nodes_explored);
     ExactSolution {
         pricing: PricingFunction::from_points(a, sol.prices).expect("exact output is valid"),
         objective: sol.revenue,
@@ -329,10 +345,21 @@ pub fn solve_bv_exact(points: &[BuyerPoint], scale: f64) -> ExactSolution {
 /// Solves the `T²_pi` objective — minimize `Σ (z_j − P_j)²` over the
 /// relaxed set (4) — as a Euclidean projection (Dykstra + PAVA).
 pub fn solve_pi_l2(points: &[PricePoint]) -> RevenueSolution {
+    let _span = mbp_obs::span("mbp.optim.revenue");
     let a: Vec<f64> = points.iter().map(|p| p.a).collect();
     check_grid(&a);
     let targets: Vec<f64> = points.iter().map(|p| p.target).collect();
     let proj = project_relaxed_cone(&targets, &a, 1e-10);
+    mbp_obs::counter_add("mbp.optim.revenue.iterations", proj.iterations as u64);
+    // Targets the projection had to move were infeasible for the relaxed
+    // cone as given — each one is a feasibility rejection.
+    let moved = proj
+        .z
+        .iter()
+        .zip(&targets)
+        .filter(|(z, p)| (**z - **p).abs() > 1e-7 * (1.0 + p.abs()))
+        .count();
+    mbp_obs::counter_add("mbp.optim.revenue.feasibility_rejections", moved as u64);
     let loss: f64 = proj
         .z
         .iter()
@@ -350,6 +377,7 @@ pub fn solve_pi_l2(points: &[PricePoint]) -> RevenueSolution {
 /// Solves the `T∞_pi` objective — minimize `Σ |z_j − P_j|` over the relaxed
 /// set (4) — as a linear program (split variables + simplex).
 pub fn solve_pi_l1(points: &[PricePoint]) -> RevenueSolution {
+    let _span = mbp_obs::span("mbp.optim.revenue");
     let n = points.len();
     let a: Vec<f64> = points.iter().map(|p| p.a).collect();
     check_grid(&a);
@@ -383,6 +411,7 @@ pub fn solve_pi_l1(points: &[PricePoint]) -> RevenueSolution {
         lp.constrain(row, Cmp::Le, 0.0);
     }
     let sol = lp.minimize();
+    mbp_obs::gauge_set("mbp.optim.revenue.objective", -sol.objective);
     assert_eq!(
         sol.status,
         LpStatus::Optimal,
@@ -408,6 +437,8 @@ pub fn solve_separable_concave(
 ) -> RevenueSolution {
     check_grid(grid);
     let sol = mbp_optim::projgrad::maximize_separable_concave(obj, grid, start, 5000, 1e-10);
+    mbp_obs::counter_add("mbp.optim.revenue.iterations", sol.iterations as u64);
+    mbp_obs::gauge_set("mbp.optim.revenue.objective", sol.objective);
     let z: Vec<f64> = sol.z.iter().map(|&x| x.max(0.0)).collect();
     RevenueSolution {
         pricing: PricingFunction::from_points(grid.to_vec(), z).expect("projected point is valid"),

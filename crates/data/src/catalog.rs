@@ -108,7 +108,18 @@ pub fn load(spec: &DatasetSpec, scale: f64, seed: u64) -> TrainTest {
         scale > 0.0 && scale <= 1.0,
         "scale must be in (0, 1], got {scale}"
     );
+    let _span = mbp_obs::span("mbp.data.catalog.load");
     let n_total = ((spec.paper_n_total() as f64) * scale).round().max(20.0) as usize;
+    mbp_obs::event(
+        mbp_obs::Verbosity::Info,
+        "mbp.data.catalog",
+        "materializing dataset",
+        &[
+            ("name", spec.name.to_string()),
+            ("rows", n_total.to_string()),
+            ("d", spec.d.to_string()),
+        ],
+    );
     let mut rng: MbpRng = seeded_rng(seed ^ fxhash(spec.name));
     let ds = match (spec.task, spec.name) {
         (Task::Regression, "Simulated1") => synth::simulated1(n_total, spec.d, 1.0, &mut rng),

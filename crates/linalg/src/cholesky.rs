@@ -25,6 +25,7 @@ impl Cholesky {
             return Err(LinalgError::NotSquare { shape: (r, c) });
         }
         let n = r;
+        mbp_obs::inc("mbp.linalg.cholesky.count");
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
             // Diagonal entry.

@@ -74,12 +74,13 @@ pub fn sgd(obj: &impl Objective, ds: &Dataset, cfg: SgdConfig) -> FitReport {
             converged: true,
         };
     }
+    let _span = mbp_obs::span("mbp.ml.sgd");
     let batch = cfg.batch_size.min(n);
     let mut rng: MbpRng = seeded_rng(cfg.seed);
     let mut order: Vec<usize> = (0..n).collect();
     let mut step = cfg.step;
     let mut iterations = 0;
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
         order.shuffle(&mut rng);
         for chunk in order.chunks(batch) {
             let view = ds.select(chunk);
@@ -88,9 +89,23 @@ pub fn sgd(obj: &impl Objective, ds: &Dataset, cfg: SgdConfig) -> FitReport {
             iterations += 1;
         }
         step *= cfg.decay;
+        mbp_obs::inc("mbp.ml.sgd.epochs");
+        // Per-epoch diagnostics go through the event log (never stdout):
+        // the library stays silent unless a front-end drains the events.
+        mbp_obs::event(
+            mbp_obs::Verbosity::Debug,
+            "mbp.ml.sgd",
+            "epoch complete",
+            &[
+                ("epoch", (epoch + 1).to_string()),
+                ("step", format!("{step:.6}")),
+                ("iterations", iterations.to_string()),
+            ],
+        );
     }
     let g = obj.gradient(&h, ds);
     let grad_norm = g.norm2();
+    mbp_obs::gauge_set("mbp.ml.sgd.grad_norm", grad_norm);
     FitReport {
         objective: obj.value(&h, ds),
         converged: grad_norm.is_finite(),

@@ -56,6 +56,7 @@ impl Default for TrainConfig {
 /// as [`mbp_linalg::LinalgError::NotPositiveDefinite`]).
 pub fn ridge_closed_form(ds: &Dataset, mu: f64) -> Result<Vector, mbp_linalg::LinalgError> {
     assert!(mu >= 0.0 && mu.is_finite(), "mu must be >= 0, got {mu}");
+    let _span = mbp_obs::span("mbp.ml.ridge.train");
     let n = ds.n().max(1) as f64;
     let mut gram = ds.x.gram();
     // Scale to the averaged objective so mu means the same thing as in
@@ -119,6 +120,7 @@ pub fn gradient_descent(obj: &impl Objective, ds: &Dataset, cfg: TrainConfig) ->
         }
     }
     let g = obj.gradient(&h, ds);
+    mbp_obs::counter_add("mbp.ml.gd.iterations", iterations as u64);
     FitReport {
         grad_norm: g.norm2(),
         converged: g.norm2() <= cfg.tol,
@@ -172,6 +174,7 @@ pub fn newton_logistic(loss: &LogisticLoss, ds: &Dataset, cfg: TrainConfig) -> F
         }
     }
     let g = loss.gradient(&h, ds);
+    mbp_obs::counter_add("mbp.ml.newton.iterations", iterations as u64);
     FitReport {
         grad_norm: g.norm2(),
         converged: g.norm2() <= cfg.tol,

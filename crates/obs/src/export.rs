@@ -1,0 +1,260 @@
+//! Exporters: metric snapshots as JSON or Prometheus text, events as
+//! JSON lines. All serialization is hand-rolled (no external crates).
+
+use crate::{Event, Snapshot};
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON number for `v`, or `null` when non-finite (JSON has no NaN/Inf).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map(json_num).unwrap_or_else(|| "null".to_string())
+}
+
+/// Renders a snapshot as a JSON object with `counters`, `gauges`, and
+/// `histograms` maps. Histograms carry count/sum/min/max/p50/p90/p99.
+pub fn to_json(s: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, v)) in s.counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {v}", esc(name));
+    }
+    out.push_str(if s.counters.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"gauges\": {");
+    for (i, (name, v)) in s.gauges.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{}\": {}", esc(name), json_num(*v));
+    }
+    out.push_str(if s.gauges.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+    out.push_str("  \"histograms\": {");
+    for (i, h) in s.histograms.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+            esc(&h.name),
+            h.count,
+            json_num(h.sum),
+            json_num(h.min),
+            json_num(h.max),
+            json_opt(h.p50),
+            json_opt(h.p90),
+            json_opt(h.p99),
+        );
+    }
+    out.push_str(if s.histograms.is_empty() {
+        "}\n"
+    } else {
+        "\n  }\n"
+    });
+    out.push('}');
+    out
+}
+
+/// Prometheus metric name: dots and other invalid characters become `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Prometheus sample value (the text format allows NaN and signed Inf).
+fn prom_num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format: counters
+/// and gauges as single samples, histograms as summaries with `quantile`
+/// labels plus `_sum` and `_count` series.
+pub fn to_prometheus(s: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &s.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+    }
+    for (name, v) in &s.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {}", prom_num(*v));
+    }
+    for h in &s.histograms {
+        let n = prom_name(&h.name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
+            if let Some(v) = v {
+                let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {}", prom_num(v));
+            }
+        }
+        let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", prom_num(h.sum), h.count);
+    }
+    out
+}
+
+/// Renders events as JSON lines (one object per event), the `--trace`
+/// drain format.
+pub fn events_to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = write!(
+            out,
+            "{{\"seq\": {}, \"unix_micros\": {}, \"level\": \"{}\", \"target\": \"{}\", \
+             \"message\": \"{}\", \"fields\": {{",
+            e.seq,
+            e.unix_micros,
+            e.level.as_str(),
+            esc(&e.target),
+            esc(&e.message),
+        );
+        for (i, (k, v)) in e.fields.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}\"{}\": \"{}\"", esc(k), esc(v));
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HistogramSnapshot, Verbosity};
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            counters: vec![("mbp.core.buy.count".into(), 12)],
+            gauges: vec![("mbp.core.revenue.total".into(), 34.5)],
+            histograms: vec![HistogramSnapshot {
+                name: "mbp.core.buy.seconds".into(),
+                count: 12,
+                sum: 0.024,
+                min: 0.001,
+                max: 0.004,
+                p50: Some(0.002),
+                p90: Some(0.0035),
+                p99: Some(0.004),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_golden_snippets() {
+        let json = to_json(&sample_snapshot());
+        assert!(json.contains("\"mbp.core.buy.count\": 12"), "{json}");
+        assert!(json.contains("\"mbp.core.revenue.total\": 34.5"), "{json}");
+        assert!(
+            json.contains("\"mbp.core.buy.seconds\": {\"count\": 12, \"sum\": 0.024"),
+            "{json}"
+        );
+        assert!(json.contains("\"p50\": 0.002"), "{json}");
+        // Braces balance — cheap structural validity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn json_empty_snapshot_is_valid() {
+        let json = to_json(&Snapshot::default());
+        assert_eq!(
+            json,
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_nulls() {
+        let s = Snapshot {
+            counters: vec![("weird\"name\\".into(), 1)],
+            gauges: vec![("g".into(), f64::NAN)],
+            histograms: vec![],
+        };
+        let json = to_json(&s);
+        assert!(json.contains("\"weird\\\"name\\\\\": 1"), "{json}");
+        assert!(json.contains("\"g\": null"), "{json}");
+    }
+
+    #[test]
+    fn prometheus_golden_snippets() {
+        let prom = to_prometheus(&sample_snapshot());
+        assert!(prom.contains("# TYPE mbp_core_buy_count counter"), "{prom}");
+        assert!(prom.contains("mbp_core_buy_count 12"), "{prom}");
+        assert!(
+            prom.contains("# TYPE mbp_core_revenue_total gauge"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("# TYPE mbp_core_buy_seconds summary"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("mbp_core_buy_seconds{quantile=\"0.5\"} 0.002"),
+            "{prom}"
+        );
+        assert!(prom.contains("mbp_core_buy_seconds_sum 0.024"), "{prom}");
+        assert!(prom.contains("mbp_core_buy_seconds_count 12"), "{prom}");
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let events = vec![Event {
+            seq: 3,
+            unix_micros: 1_700_000_000_000_000,
+            level: Verbosity::Debug,
+            target: "mbp.core.adaptive".into(),
+            message: "epoch \"done\"".into(),
+            fields: vec![("epoch".into(), "2".into())],
+        }];
+        let jsonl = events_to_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"seq\": 3"), "{jsonl}");
+        assert!(jsonl.contains("\"level\": \"debug\""), "{jsonl}");
+        assert!(
+            jsonl.contains("\"message\": \"epoch \\\"done\\\"\""),
+            "{jsonl}"
+        );
+        assert!(jsonl.contains("\"fields\": {\"epoch\": \"2\"}"), "{jsonl}");
+    }
+}

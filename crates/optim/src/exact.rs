@@ -122,6 +122,7 @@ pub fn maximize_revenue_exact(points: &[BuyerPoint]) -> ExactSolution {
     if best.revenue < 0.0 {
         best.revenue = 0.0;
     }
+    mbp_obs::counter_add("mbp.optim.branchbound.nodes", nodes);
     ExactSolution {
         revenue: best.revenue,
         prices: best.prices,

@@ -176,6 +176,7 @@ pub fn project_relaxed_cone(y: &[f64], a: &[f64], tol: f64) -> Projection {
         }
     }
     let residual = relaxed_cone_residual(&z, a);
+    mbp_obs::counter_add("mbp.optim.isotonic.sweeps", iterations as u64);
     Projection {
         z,
         iterations,

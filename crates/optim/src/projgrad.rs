@@ -112,6 +112,7 @@ pub fn maximize_separable_concave(
         }
     }
     debug_assert!(relaxed_cone_residual(&z, a) <= 1e-6);
+    mbp_obs::counter_add("mbp.optim.projgrad.iterations", iterations as u64);
     ProjGradSolution {
         objective: value,
         z,

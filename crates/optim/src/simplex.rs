@@ -266,6 +266,7 @@ fn run_simplex_barred(
         let Some(i) = leave else {
             return SimplexOutcome::Unbounded;
         };
+        mbp_obs::inc("mbp.optim.simplex.pivots");
         pivot(t, basis, i, j, total);
     }
 }

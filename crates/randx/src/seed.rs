@@ -33,11 +33,12 @@ impl SeedStream {
 
     /// Returns the next independent RNG in the stream.
     pub fn next_rng(&mut self) -> MbpRng {
-        seeded_rng(self.master.next_u64())
+        seeded_rng(self.next_seed())
     }
 
     /// Returns the next raw 64-bit seed in the stream.
     pub fn next_seed(&mut self) -> u64 {
+        mbp_obs::inc("mbp.randx.seedstream.derived");
         self.master.next_u64()
     }
 }

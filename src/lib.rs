@@ -47,6 +47,7 @@ pub use mbp_core as core;
 pub use mbp_data as data;
 pub use mbp_linalg as linalg;
 pub use mbp_ml as ml;
+pub use mbp_obs as obs;
 pub use mbp_optim as optim;
 pub use mbp_randx as randx;
 

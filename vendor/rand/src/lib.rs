@@ -1,0 +1,365 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! re-implements exactly the surface the workspace uses: [`RngCore`],
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`), [`rngs::StdRng`] (a deterministic,
+//! portable xoshiro256++ generator seeded through SplitMix64), and
+//! [`seq::SliceRandom::shuffle`]. Distribution sampling beyond uniform
+//! ranges lives in `mbp-randx`, not here.
+//!
+//! Determinism contract: for a fixed seed the byte stream is stable across
+//! platforms and releases of this stub — experiment outputs depend on it.
+
+#![allow(clippy::all)]
+
+use std::ops::Range;
+
+/// Core random-number source: 32/64-bit words and byte fills.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        debug_assert!(lo < hi, "gen_range requires lo < hi");
+        let u = unit_f64(rng.next_u64());
+        let v = lo + (hi - lo) * u;
+        // Guard against rounding up to the excluded endpoint.
+        if v >= hi {
+            // Nudge to the largest representable value below hi.
+            f64::from_bits(hi.to_bits() - 1)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+        f64::sample_range(lo as f64, hi as f64, rng) as f32
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                debug_assert!(lo < hi, "gen_range requires lo < hi");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                // Multiply-shift rejection-free mapping (Lemire); the bias
+                // is < 2^-64 per draw, far below what these workloads see.
+                let hi128 = (rng.next_u64() as u128) * (span as u128);
+                lo + ((hi128 >> 64) as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                debug_assert!(lo < hi, "gen_range requires lo < hi");
+                let span = (hi as i128 - lo as i128) as u64;
+                let hi128 = (rng.next_u64() as u128) * (span as u128);
+                (lo as i128 + (hi128 >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (full width for integers).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Uniform draw from the half-open range `lo..hi`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(range.start, range.end, self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Value distributions (only the `Standard` uniform one is provided).
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+
+    /// The "natural" uniform distribution for a type.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    /// Sampling interface.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic standard RNG: xoshiro256++ with
+    /// SplitMix64 seed expansion. (Upstream `rand` uses ChaCha12 here; the
+    /// statistical quality of xoshiro256++ is ample for Monte-Carlo work
+    /// and the implementation is dependency-free.)
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let k = rng.gen_range(3..9usize);
+            assert!((3..9).contains(&k));
+            let u = rng.gen_range(1..6u64);
+            assert!((1..6).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input in order"
+        );
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for len in [1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            // Overwhelmingly likely non-zero for len >= 4.
+            if len >= 4 {
+                assert!(buf.iter().any(|&b| b != 0));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_uniform_is_half() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
