@@ -231,6 +231,54 @@ fn main() {
         );
     });
 
+    // Speedup baseline for the parallel hot paths: times each parallelized
+    // phase at 1/2/4 threads and writes BENCH_parallel.json (overridable
+    // with MBP_BENCH_OUT; repetitions with MBP_PAR_REPS).
+    run_phase(&mut phases, "parallel-baseline", || {
+        let reps = std::env::var("MBP_PAR_REPS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&r| r >= 1)
+            .unwrap_or(3);
+        let baseline = mbp_bench::parbench::run(reps);
+        print_table(
+            &format!(
+                "Parallel baseline (hardware threads: {}, pool default: {}, min of {} reps)",
+                baseline.hardware_threads, baseline.default_threads, baseline.reps
+            ),
+            &[
+                "phase",
+                "t1",
+                "t2",
+                "t4",
+                "speedup_2",
+                "speedup_4",
+                "deterministic",
+            ],
+            &baseline
+                .phases
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.name.to_string(),
+                        fmt_secs(p.seconds[0]),
+                        fmt_secs(p.seconds[1]),
+                        fmt_secs(p.seconds[2]),
+                        fmt(p.speedup_at(2)),
+                        fmt(p.speedup_at(4)),
+                        p.deterministic.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let bench_out =
+            std::env::var("MBP_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel.json".to_string());
+        match std::fs::write(&bench_out, baseline.to_json()) {
+            Ok(()) => println!("parallel baseline written to {bench_out}"),
+            Err(e) => eprintln!("could not write parallel baseline {bench_out}: {e}"),
+        }
+    });
+
     // Per-phase wall times and metric volume.
     print_table(
         "Observability: phase timings",

@@ -200,18 +200,22 @@ fn run_scenario(label: String, buyers: Vec<BuyerPoint>) -> RevenueScenario {
         efficiency: w.efficiency,
         prices: mbp.pricing.prices().to_vec(),
     });
-    for b in Baseline::ALL {
+    // The baselines are independent of one another: price and evaluate each
+    // on its own worker (par_map keeps paper order).
+    let _span = mbp_obs::span("mbp.bench.scenario.baselines.par");
+    outcomes.extend(mbp_par::par_map(Baseline::ALL.len(), 1, |i| {
+        let b = Baseline::ALL[i];
         let pf = b.pricing(&buyers);
         let w = welfare(&pf, &buyers);
-        outcomes.push(MethodOutcome {
+        MethodOutcome {
             method: b.name(),
             revenue: w.revenue,
             affordability: w.affordability,
             buyer_surplus: w.buyer_surplus,
             efficiency: w.efficiency,
             prices: g.iter().map(|&x| pf.price_at(x)).collect(),
-        });
-    }
+        }
+    }));
     RevenueScenario {
         label,
         grid: g,
@@ -228,17 +232,17 @@ pub fn fig7(_cfg: &Config) -> Vec<RevenueScenario> {
         center: 0.6,
         width: 0.35,
     });
-    [
+    let panels = [
         ("convex value curve", ValueShape::Convex { power: 2.5 }),
         ("concave value curve", ValueShape::Concave { power: 2.5 }),
-    ]
-    .into_iter()
-    .map(|(label, shape)| {
+    ];
+    let _span = mbp_obs::span("mbp.bench.fig7.panels.par");
+    mbp_par::par_map(panels.len(), 1, |i| {
+        let (label, shape) = panels[i];
         let value = ValueCurve::new(shape, 2.0, 100.0);
         let buyers = mbp_core::market::curves::buyer_points(&g, &value, &demand);
         run_scenario(format!("Fig7 {label}"), buyers)
     })
-    .collect()
 }
 
 /// Regenerates Figure 8: fixed (linear) value curve, varying demand —
@@ -246,7 +250,7 @@ pub fn fig7(_cfg: &Config) -> Vec<RevenueScenario> {
 pub fn fig8(_cfg: &Config) -> Vec<RevenueScenario> {
     let g = grid(20.0, 100.0, 9);
     let value = ValueCurve::new(ValueShape::Linear, 2.0, 100.0);
-    [
+    let panels = [
         (
             "mid-peaked demand",
             DemandShape::Peak {
@@ -255,14 +259,14 @@ pub fn fig8(_cfg: &Config) -> Vec<RevenueScenario> {
             },
         ),
         ("bimodal demand", DemandShape::Bimodal { width: 0.15 }),
-    ]
-    .into_iter()
-    .map(|(label, shape)| {
+    ];
+    let _span = mbp_obs::span("mbp.bench.fig8.panels.par");
+    mbp_par::par_map(panels.len(), 1, |i| {
+        let (label, shape) = panels[i];
         let demand = DemandCurve::new(shape);
         let buyers = mbp_core::market::curves::buyer_points(&g, &value, &demand);
         run_scenario(format!("Fig8 {label}"), buyers)
     })
-    .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -299,6 +303,10 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_secs_f64())
 }
 
+// Deliberately sequential: the per-method wall times ARE the figure's
+// y-axis, so the solvers must not share cores with each other. Population
+// metrics evaluated after each timed section still route through the
+// (parallel-capable) `revenue`/`affordability` evaluators.
 fn runtime_sweep(
     label: String,
     value: ValueCurve,

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parbench;
 pub mod report;
 
 /// Experiment-scale configuration.

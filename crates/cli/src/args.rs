@@ -121,7 +121,6 @@ impl Args {
     }
 
     /// Optional `usize` flag with a default.
-    #[cfg_attr(not(test), allow(dead_code))] // part of the parser's API surface
     pub fn get_usize(&self, flag: &str, default: usize) -> Result<usize, ArgError> {
         match self.get(flag) {
             None => Ok(default),
@@ -237,6 +236,16 @@ mod tests {
         );
         let bad = Args::parse(argv("x --grid 5,1,3")).unwrap();
         assert!(bad.get_grid("grid", (1.0, 2.0, 2)).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_like_any_usize_flag() {
+        let a = Args::parse(argv("simulate --threads 4 --buyers 10")).unwrap();
+        assert_eq!(a.get("threads"), Some("4"));
+        assert_eq!(a.get_usize("threads", 1).unwrap(), 4);
+        // Absent flag falls back to the default (pool decides from env).
+        let b = Args::parse(argv("simulate")).unwrap();
+        assert!(b.get("threads").is_none());
     }
 
     #[test]

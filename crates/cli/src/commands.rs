@@ -74,13 +74,19 @@ COMMANDS:
             [--buyers N] [--jitter J] the derived arbitrage-free pricing
             [--grid lo,hi,n] [--seed S] (synthetic Simulated1 data when no
             [--ridge MU] [--lambda L]   CSV is given)
+            [--sharded]                 shard buyers across worker threads
+                                        (deterministic in the seed at any
+                                        thread count)
   predict   --model MODEL_TSV     score a CSV with a saved model instance
             --csv F
 
 GLOBAL FLAGS (every command):
+  --threads N          thread-pool size for parallel hot paths (default:
+                       MBP_THREADS env var, else the hardware parallelism)
   --metrics-out PATH   write a JSON metrics snapshot after the command
   --trace              record span/trace events, appended to the report
-  --verbose            record debug-level events as well
+  --verbose            record debug-level events as well (including the
+                       effective thread-pool size)
 
 MODELS: linreg | logreg | svm
 VALUE SHAPES: linear | convex | concave | sigmoid
@@ -105,6 +111,25 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         } else if verbose {
             mbp_obs::set_verbosity(mbp_obs::Verbosity::Debug);
         }
+    }
+    // `--threads N` overrides MBP_THREADS (which mbp-par reads itself).
+    if let Some(raw) = args.get("threads") {
+        let n = mbp_par::parse_threads(Some(raw)).ok_or_else(|| {
+            CliError::Args(ArgError::BadValue {
+                flag: "threads".into(),
+                value: raw.into(),
+                expected: "a positive integer",
+            })
+        })?;
+        mbp_par::set_threads(n);
+    }
+    if verbose {
+        mbp_obs::event(
+            mbp_obs::Verbosity::Debug,
+            "mbp.cli",
+            "thread pool configured",
+            &[("effective_threads", mbp_par::max_threads().to_string())],
+        );
     }
     let mut result = dispatch(args);
     if let Some(path) = metrics_out {
@@ -446,7 +471,9 @@ fn cmd_sell(args: &Args) -> Result<String, CliError> {
 
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     use mbp_core::error::SquareLossTransform;
-    use mbp_core::market::simulation::{simulate_market, SimulationConfig};
+    use mbp_core::market::simulation::{
+        simulate_market, simulate_market_sharded, SimulationConfig,
+    };
     use mbp_core::market::{Broker, Seller};
 
     let seed = args.get_u64("seed", 7)?;
@@ -484,18 +511,35 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     // `price_from_research` performs.
     let lambda = args.get_f64("lambda", 0.0)?;
     let pricing = solve_bv_dp_fair(&seller.buyer_population(), lambda).pricing;
-    let outcome = simulate_market(
-        &mut broker,
-        &seller,
-        kind,
-        &pricing,
-        &SquareLossTransform,
-        SimulationConfig {
-            n_buyers: buyers,
-            valuation_jitter: jitter,
-        },
-        &mut rng,
-    )
+    let cfg = SimulationConfig {
+        n_buyers: buyers,
+        valuation_jitter: jitter,
+    };
+    // --sharded splits the buyer stream across the thread pool with one
+    // seed stream per shard; results depend only on --seed, never on the
+    // thread count. The default path replays the exact pre-existing
+    // sequential RNG stream.
+    let outcome = if args.get_bool("sharded") {
+        simulate_market_sharded(
+            &mut broker,
+            &seller,
+            kind,
+            &pricing,
+            &SquareLossTransform,
+            cfg,
+            seed ^ 0x5a4d,
+        )
+    } else {
+        simulate_market(
+            &mut broker,
+            &seller,
+            kind,
+            &pricing,
+            &SquareLossTransform,
+            cfg,
+            &mut rng,
+        )
+    }
     .map_err(|e| CliError::Market(e.to_string()))?;
     let mut out = String::new();
     writeln!(out, "model\t{}", kind.name()).unwrap();
@@ -572,6 +616,10 @@ fn cmd_predict(args: &Args) -> Result<String, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that drain the process-global obs event buffer, so
+    /// concurrently running tests cannot steal each other's events.
+    static EVENTS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn argv(s: &str) -> Args {
         Args::parse(s.split_whitespace().map(String::from)).unwrap()
@@ -792,9 +840,56 @@ mod tests {
 
     #[test]
     fn trace_appends_events_to_report() {
+        let _guard = EVENTS_LOCK.lock().unwrap();
         let out = run(&argv("simulate --buyers 50 --seed 13 --trace")).unwrap();
         assert!(out.contains("── events ──"), "{out}");
         assert!(out.contains("\"target\""), "{out}");
+    }
+
+    #[test]
+    fn threads_flag_validates_and_configures_pool() {
+        for bad in ["zero", "0", "-2"] {
+            let err = run(&argv(&format!("catalog --threads {bad}"))).unwrap_err();
+            assert!(
+                matches!(err, CliError::Args(ArgError::BadValue { .. })),
+                "--threads {bad} should be rejected"
+            );
+        }
+        let out = run(&argv("catalog --threads 3")).unwrap();
+        assert!(out.contains("YearMSD"));
+        assert_eq!(mbp_par::default_threads(), 3);
+        mbp_par::set_threads(0); // restore the process default for other tests
+    }
+
+    #[test]
+    fn verbose_reports_effective_thread_pool() {
+        let _guard = EVENTS_LOCK.lock().unwrap();
+        let out = run(&argv("simulate --buyers 30 --seed 17 --verbose")).unwrap();
+        assert!(out.contains("thread pool configured"), "{out}");
+        assert!(out.contains("effective_threads"), "{out}");
+    }
+
+    #[test]
+    fn simulate_sharded_is_deterministic_in_the_seed() {
+        let a = run(&argv(
+            "simulate --buyers 300 --seed 21 --jitter 0.05 --sharded",
+        ))
+        .unwrap();
+        let b = run(&argv(
+            "simulate --buyers 300 --seed 21 --jitter 0.05 --sharded",
+        ))
+        .unwrap();
+        assert_eq!(a, b, "sharded season must be a pure function of --seed");
+        let count = |report: &str, key: &str| -> usize {
+            report
+                .lines()
+                .find(|l| l.starts_with(key))
+                .and_then(|l| l.split('\t').nth(1))
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(count(&a, "served") + count(&a, "declined"), 300);
     }
 
     #[test]

@@ -282,7 +282,7 @@ impl Broker {
             self.ledger.push(tx);
             Ok(sale)
         })();
-        record_purchase_outcome(&result);
+        record_purchase_outcome(result.as_ref());
         result
     }
 
@@ -385,13 +385,32 @@ impl Broker {
         transform: &dyn ErrorTransform,
         rng: &mut MbpRng,
     ) -> Result<Sale, MarketError> {
+        let (sale, tx) = self.quote(kind, request, pricing, transform, rng)?;
+        self.ledger.push(tx);
+        Ok(sale)
+    }
+
+    /// Read-only purchase execution: resolves, prices, and noises exactly
+    /// like [`Broker::buy`] but leaves the ledger untouched, returning the
+    /// [`Transaction`] for the caller to [`Broker::settle`]. This is the
+    /// building block for sharded simulation and the striped concurrent
+    /// broker, where many quotes run against `&Broker` in parallel and the
+    /// ledger is merged in one deterministic step.
+    pub fn quote(
+        &self,
+        kind: ModelKind,
+        request: PurchaseRequest,
+        pricing: &PricingFunction,
+        transform: &dyn ErrorTransform,
+        rng: &mut MbpRng,
+    ) -> Result<(Sale, Transaction), MarketError> {
         let _span = mbp_obs::span("mbp.core.buy");
         let result = (|| {
             let entry = self
                 .menu
                 .get(&kind)
                 .ok_or(MarketError::UnsupportedModel(kind))?;
-            let (sale, tx) = execute_purchase(
+            execute_purchase(
                 entry,
                 self.mechanism.as_ref(),
                 pricing,
@@ -399,12 +418,17 @@ impl Broker {
                 kind,
                 request,
                 rng,
-            )?;
-            self.ledger.push(tx);
-            Ok(sale)
+            )
         })();
-        record_purchase_outcome(&result);
+        record_purchase_outcome(result.as_ref().map(|(sale, _)| sale));
         result
+    }
+
+    /// Appends already-executed transactions to the ledger — the merge step
+    /// for quotes produced by [`Broker::quote`]. Callers control the order,
+    /// which is what makes sharded ledger merges deterministic.
+    pub fn settle<I: IntoIterator<Item = Transaction>>(&mut self, txs: I) {
+        self.ledger.extend(txs);
     }
 
     /// All completed transactions.
@@ -421,7 +445,7 @@ impl Broker {
 /// Records the metrics for one purchase attempt: `mbp.core.buy.count` and
 /// the running `mbp.core.revenue.total` gauge on success,
 /// `mbp.core.buy.rejected` (plus an error event) on failure.
-fn record_purchase_outcome(result: &Result<Sale, MarketError>) {
+fn record_purchase_outcome(result: Result<&Sale, &MarketError>) {
     match result {
         Ok(sale) => {
             mbp_obs::inc("mbp.core.buy.count");

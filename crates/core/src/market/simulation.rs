@@ -10,11 +10,11 @@
 //! Section 5's `T_bv` objective.
 
 use crate::error::ErrorTransform;
-use crate::market::agents::{Broker, MarketError, PurchaseRequest, Seller};
+use crate::market::agents::{Broker, MarketError, PurchaseRequest, Seller, Transaction};
 use crate::pricing::PricingFunction;
 use crate::revenue;
 use mbp_ml::ModelKind;
-use mbp_randx::{Categorical, Distribution, MbpRng, Normal};
+use mbp_randx::{seeded_rng, Categorical, Distribution, MbpRng, Normal, SeedStream};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -146,6 +146,139 @@ pub fn simulate_market(
     })
 }
 
+/// Buyers per shard in [`simulate_market_sharded`]. The shard layout is a
+/// pure function of `n_buyers`, so outcomes are independent of the thread
+/// count executing the shards.
+pub const SHARD_BUYERS: usize = 512;
+
+/// Per-shard partial outcome, merged in shard-index order.
+struct ShardOutcome {
+    served: usize,
+    declined: usize,
+    paid: f64,
+    txs: Vec<Transaction>,
+}
+
+/// Runs a selling season with buyers sharded across the `mbp-par` pool.
+///
+/// Semantics match [`simulate_market`] except that randomness is rooted at
+/// `master_seed` instead of a caller-held RNG: each fixed-size shard of
+/// buyers draws from its own RNG derived through an [`mbp_randx::SeedStream`]
+/// (seed `i` for shard `i`), quotes purchases against the shared `&Broker`
+/// state, and the per-shard ledgers are settled into the broker in
+/// shard-index order. Both the shard layout and the seed assignment depend
+/// only on `(n_buyers, master_seed)`, so the outcome — counts, realized
+/// revenue, and the exact ledger sequence — is identical at every thread
+/// count, including fully sequential execution.
+///
+/// # Panics
+/// Panics when `cfg.n_buyers == 0` or the jitter is negative.
+pub fn simulate_market_sharded(
+    broker: &mut Broker,
+    seller: &Seller,
+    kind: ModelKind,
+    pricing: &PricingFunction,
+    transform: &(dyn ErrorTransform + Sync),
+    cfg: SimulationConfig,
+    master_seed: u64,
+) -> Result<SimulationOutcome, MarketError> {
+    assert!(cfg.n_buyers > 0, "need at least one buyer");
+    assert!(
+        cfg.valuation_jitter >= 0.0 && cfg.valuation_jitter.is_finite(),
+        "jitter must be >= 0"
+    );
+    let population = seller.buyer_population();
+    let predicted_revenue_per_buyer = revenue::revenue(pricing, &population);
+    let predicted_affordability = revenue::affordability(pricing, &population);
+    let demands: Vec<f64> = population.iter().map(|p| p.demand).collect();
+    let arrivals = Categorical::new(&demands);
+    let jitter = Normal::new(0.0, 1.0);
+
+    let _span = mbp_obs::span("mbp.core.simulate");
+    let n_shards = mbp_par::chunk_count(cfg.n_buyers, SHARD_BUYERS);
+    mbp_obs::counter_add("mbp.core.simulate.shards", n_shards as u64);
+    let mut seeds = SeedStream::new(master_seed);
+    let shard_seeds: Vec<u64> = (0..n_shards).map(|_| seeds.next_seed()).collect();
+
+    let shards: Vec<Result<ShardOutcome, MarketError>> = {
+        let broker = &*broker;
+        mbp_par::par_map_chunks(cfg.n_buyers, SHARD_BUYERS, |range| {
+            let shard_index = range.start / SHARD_BUYERS;
+            let mut rng = seeded_rng(shard_seeds[shard_index]);
+            let mut out = ShardOutcome {
+                served: 0,
+                declined: 0,
+                paid: 0.0,
+                txs: Vec::new(),
+            };
+            for _ in range {
+                let idx = arrivals.sample(&mut rng);
+                let point = &population[idx];
+                let valuation = if cfg.valuation_jitter > 0.0 {
+                    (point.valuation * (1.0 + cfg.valuation_jitter * jitter.sample(&mut rng)))
+                        .max(0.0)
+                } else {
+                    point.valuation
+                };
+                let price = pricing.price_at(point.a);
+                if price <= valuation + 1e-12 {
+                    let (sale, tx) = broker.quote(
+                        kind,
+                        PurchaseRequest::AtNcp(1.0 / point.a),
+                        pricing,
+                        transform,
+                        &mut rng,
+                    )?;
+                    out.paid += sale.price;
+                    out.txs.push(tx);
+                    out.served += 1;
+                } else {
+                    out.declined += 1;
+                }
+            }
+            Ok(out)
+        })
+    };
+
+    // Deterministic merge: shards settle in shard-index order, so the
+    // ledger sequence and the floating-point revenue sum never depend on
+    // which thread ran which shard.
+    let mut served = 0usize;
+    let mut declined = 0usize;
+    let mut realized = 0.0f64;
+    for shard in shards {
+        let shard = shard?;
+        served += shard.served;
+        declined += shard.declined;
+        realized += shard.paid;
+        broker.settle(shard.txs);
+    }
+    mbp_obs::counter_add("mbp.core.simulate.served", served as u64);
+    mbp_obs::counter_add("mbp.core.simulate.declined", declined as u64);
+    mbp_obs::event(
+        mbp_obs::Verbosity::Info,
+        "mbp.core.simulate",
+        "sharded season complete",
+        &[
+            ("buyers", cfg.n_buyers.to_string()),
+            ("shards", n_shards.to_string()),
+            ("served", served.to_string()),
+            ("declined", declined.to_string()),
+            (
+                "realized_per_buyer",
+                format!("{:.6}", realized / cfg.n_buyers as f64),
+            ),
+        ],
+    );
+    Ok(SimulationOutcome {
+        predicted_revenue_per_buyer,
+        realized_revenue_per_buyer: realized / cfg.n_buyers as f64,
+        served,
+        declined,
+        predicted_affordability,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +392,72 @@ mod tests {
         )
         .unwrap();
         assert!(costly_out.realized_affordability() < cheap_out.realized_affordability());
+    }
+
+    #[test]
+    fn sharded_simulation_is_deterministic_across_thread_counts() {
+        let run = |threads: usize| {
+            let (seller, mut broker) = setup(81);
+            let pricing = broker.price_from_research(&seller).pricing;
+            mbp_par::with_threads(threads, || {
+                let out = simulate_market_sharded(
+                    &mut broker,
+                    &seller,
+                    ModelKind::LinearRegression,
+                    &pricing,
+                    &SquareLossTransform,
+                    SimulationConfig {
+                        n_buyers: 3000,
+                        valuation_jitter: 0.1,
+                    },
+                    4242,
+                )
+                .unwrap();
+                let prices: Vec<f64> = broker.ledger().iter().map(|t| t.price).collect();
+                (
+                    out.served,
+                    out.declined,
+                    out.realized_revenue_per_buyer,
+                    prices,
+                )
+            })
+        };
+        let one = run(1);
+        let two = run(2);
+        let four = run(4);
+        assert_eq!(one, two);
+        assert_eq!(two, four);
+        assert!(one.0 > 0, "some buyers must be served");
+        assert_eq!(one.0 + one.1, 3000);
+        assert_eq!(one.3.len(), one.0, "one ledger entry per served buyer");
+    }
+
+    #[test]
+    fn sharded_simulation_tracks_prediction_like_the_sequential_path() {
+        let (seller, mut broker) = setup(83);
+        let pricing = broker.price_from_research(&seller).pricing;
+        let out = simulate_market_sharded(
+            &mut broker,
+            &seller,
+            ModelKind::LinearRegression,
+            &pricing,
+            &SquareLossTransform,
+            SimulationConfig {
+                n_buyers: 4000,
+                valuation_jitter: 0.0,
+            },
+            97,
+        )
+        .unwrap();
+        let rel = (out.realized_revenue_per_buyer - out.predicted_revenue_per_buyer).abs()
+            / out.predicted_revenue_per_buyer;
+        assert!(
+            rel < 0.05,
+            "realized {} vs predicted {}",
+            out.realized_revenue_per_buyer,
+            out.predicted_revenue_per_buyer
+        );
+        assert_eq!(broker.ledger().len(), out.served);
     }
 
     #[test]

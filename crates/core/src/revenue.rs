@@ -570,11 +570,32 @@ fn revenue_of_prices(z: &[f64], points: &[BuyerPoint]) -> f64 {
         .sum()
 }
 
+/// Buyer points per parallel chunk when evaluating a pricing function
+/// against a population. Populations spanning fewer than two chunks run the
+/// original sequential code, bit-identical to the serial implementation.
+const EVAL_GRAIN: usize = 2048;
+
+fn eval_parallel(n: usize) -> bool {
+    n > EVAL_GRAIN && mbp_par::max_threads() > 1
+}
+
+/// The price vector `z_j = p̄(a_j)` for the whole population, evaluated
+/// exactly once and shared by [`revenue`], [`affordability`],
+/// [`buyer_surplus`], and [`welfare`] so no metric re-queries the curve per
+/// point. Large populations evaluate in parallel with index order preserved.
+pub fn price_vector(pf: &PricingFunction, points: &[BuyerPoint]) -> Vec<f64> {
+    if eval_parallel(points.len()) {
+        let _span = mbp_obs::span("mbp.core.revenue.price_vector.par");
+        mbp_par::par_map(points.len(), EVAL_GRAIN, |j| pf.price_at(points[j].a))
+    } else {
+        points.iter().map(|p| pf.price_at(p.a)).collect()
+    }
+}
+
 /// Revenue of pricing `pf` against the buyer population: each point pays
 /// `p̄(a_j)` iff that is at most its valuation.
 pub fn revenue(pf: &PricingFunction, points: &[BuyerPoint]) -> f64 {
-    let z: Vec<f64> = points.iter().map(|p| pf.price_at(p.a)).collect();
-    revenue_of_prices(&z, points)
+    revenue_of_prices(&price_vector(pf, points), points)
 }
 
 /// Affordability ratio: the fraction of demand mass that can afford its
@@ -584,10 +605,12 @@ pub fn affordability(pf: &PricingFunction, points: &[BuyerPoint]) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    let served: f64 = points
+    let z = price_vector(pf, points);
+    let served: f64 = z
         .iter()
-        .filter(|p| pf.price_at(p.a) <= p.valuation + 1e-9)
-        .map(|p| p.demand)
+        .zip(points)
+        .filter(|&(&zj, p)| zj <= p.valuation + 1e-9)
+        .map(|(_, p)| p.demand)
         .sum();
     served / total
 }
@@ -596,10 +619,11 @@ pub fn affordability(pf: &PricingFunction, points: &[BuyerPoint]) -> f64 {
 /// buyers keep after paying. Together with [`revenue`] it decomposes the
 /// realized social welfare; `welfare = revenue + surplus`.
 pub fn buyer_surplus(pf: &PricingFunction, points: &[BuyerPoint]) -> f64 {
-    points
-        .iter()
-        .filter(|p| pf.price_at(p.a) <= p.valuation + 1e-9)
-        .map(|p| p.demand * (p.valuation - pf.price_at(p.a)))
+    let z = price_vector(pf, points);
+    z.iter()
+        .zip(points)
+        .filter(|&(&zj, p)| zj <= p.valuation + 1e-9)
+        .map(|(&zj, p)| p.demand * (p.valuation - zj))
         .sum()
 }
 
@@ -617,15 +641,49 @@ pub struct MarketWelfare {
     pub efficiency: f64,
 }
 
-/// Computes the full welfare decomposition in one pass.
+/// Computes the full welfare decomposition in a single pass over the
+/// population: the price vector is evaluated once and revenue, surplus,
+/// served mass, and total surplus accumulate together. Large populations
+/// reduce fixed chunks in chunk-index order (deterministic at any thread
+/// count ≥ 2); small ones keep the serial running sums.
 pub fn welfare(pf: &PricingFunction, points: &[BuyerPoint]) -> MarketWelfare {
-    let total_surplus: f64 = points.iter().map(|p| p.demand * p.valuation).sum();
-    let revenue = revenue(pf, points);
-    let buyer_surplus = buyer_surplus(pf, points);
+    let z = price_vector(pf, points);
+    // (revenue, buyer surplus, served mass, total demand, total surplus).
+    let accumulate = |range: std::ops::Range<usize>| {
+        let mut acc = [0.0f64; 5];
+        for (p, &zj) in points[range.clone()].iter().zip(&z[range]) {
+            acc[3] += p.demand;
+            acc[4] += p.demand * p.valuation;
+            if zj <= p.valuation + 1e-9 {
+                acc[0] += p.demand * zj;
+                acc[1] += p.demand * (p.valuation - zj);
+                acc[2] += p.demand;
+            }
+        }
+        acc
+    };
+    let sums = if eval_parallel(points.len()) {
+        let _span = mbp_obs::span("mbp.core.revenue.welfare.par");
+        mbp_par::par_map_chunks(points.len(), EVAL_GRAIN, accumulate)
+            .into_iter()
+            .fold([0.0f64; 5], |mut a, c| {
+                for (ai, ci) in a.iter_mut().zip(&c) {
+                    *ai += ci;
+                }
+                a
+            })
+    } else {
+        accumulate(0..points.len())
+    };
+    let [revenue, buyer_surplus, served, total_demand, total_surplus] = sums;
     MarketWelfare {
         revenue,
         buyer_surplus,
-        affordability: affordability(pf, points),
+        affordability: if total_demand > 0.0 {
+            served / total_demand
+        } else {
+            0.0
+        },
         efficiency: if total_surplus > 0.0 {
             (revenue + buyer_surplus) / total_surplus
         } else {
@@ -1012,6 +1070,42 @@ mod tests {
                 b.name(),
                 dp.objective
             );
+        }
+    }
+
+    /// A synthetic population large enough to cross `EVAL_GRAIN`.
+    fn big_population(n: usize) -> Vec<BuyerPoint> {
+        (0..n)
+            .map(|j| {
+                let a = 1.0 + 9.0 * (j as f64 / n as f64);
+                let v = 50.0 + 40.0 * ((j as f64) * 0.37).sin().abs() * a;
+                BuyerPoint::new(a, v, 1.0 / n as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_population_eval_is_deterministic_and_consistent() {
+        let pts = big_population(6000);
+        let pf = Baseline::Lin.pricing(&pts);
+        let w2 = mbp_par::with_threads(2, || welfare(&pf, &pts));
+        let w4 = mbp_par::with_threads(4, || welfare(&pf, &pts));
+        assert_eq!(w2, w4);
+        let w1 = mbp_par::with_threads(1, || welfare(&pf, &pts));
+        assert!((w1.revenue - w2.revenue).abs() <= 1e-12 * w1.revenue.abs().max(1.0));
+        // The single-pass welfare agrees with the individual metrics.
+        for threads in [1, 2, 4] {
+            let (w, r, s, aff) = mbp_par::with_threads(threads, || {
+                (
+                    welfare(&pf, &pts),
+                    revenue(&pf, &pts),
+                    buyer_surplus(&pf, &pts),
+                    affordability(&pf, &pts),
+                )
+            });
+            assert!((w.revenue - r).abs() < 1e-9);
+            assert!((w.buyer_surplus - s).abs() < 1e-9);
+            assert!((w.affordability - aff).abs() < 1e-9);
         }
     }
 }

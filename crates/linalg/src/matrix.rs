@@ -164,7 +164,19 @@ impl Matrix {
         Ok(Vector::from_vec(out))
     }
 
+    /// Rows per parallel band in [`Matrix::matmul`].
+    const MATMUL_ROW_BAND: usize = 64;
+    /// Cache block over the shared dimension in [`Matrix::matmul`]: a block
+    /// of `B` rows stays hot while every row of the band reuses it.
+    const MATMUL_K_BLOCK: usize = 128;
+
     /// Matrix product `A B`.
+    ///
+    /// Output rows are partitioned into fixed bands computed in parallel on
+    /// the `mbp-par` pool. Each row's accumulation walks `k` in ascending
+    /// order regardless of banding or blocking, so the result is
+    /// bit-identical at every thread count (including the sequential
+    /// fallback).
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -173,22 +185,34 @@ impl Matrix {
                 right: other.shape(),
             });
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps the inner accesses sequential for row-major
-        // storage on both operands.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self.get(i, k);
-                if aik == 0.0 {
-                    continue;
+        let ocols = other.cols;
+        let mut out = Matrix::zeros(self.rows, ocols);
+        let parallel = self.rows > Self::MATMUL_ROW_BAND && mbp_par::max_threads() > 1;
+        let _span = parallel.then(|| mbp_obs::span("mbp.linalg.matmul.par"));
+        mbp_par::par_chunks_mut(
+            &mut out.data,
+            Self::MATMUL_ROW_BAND * ocols.max(1),
+            |ci, band| {
+                let band_start = ci * Self::MATMUL_ROW_BAND;
+                for kb in (0..self.cols).step_by(Self::MATMUL_K_BLOCK) {
+                    let kend = (kb + Self::MATMUL_K_BLOCK).min(self.cols);
+                    // i-k-j order within the block keeps the inner accesses
+                    // sequential for row-major storage on both operands.
+                    for (bi, orow) in band.chunks_mut(ocols).enumerate() {
+                        let arow = self.row(band_start + bi);
+                        for (k, &aik) in arow[..kend].iter().enumerate().skip(kb) {
+                            if aik == 0.0 {
+                                continue;
+                            }
+                            let brow = other.row(k);
+                            for (o, b) in orow.iter_mut().zip(brow) {
+                                *o += aik * b;
+                            }
+                        }
+                    }
                 }
-                let brow = other.row(k);
-                let orow = out.row_mut(i);
-                for (o, b) in orow.iter_mut().zip(brow) {
-                    *o += aik * b;
-                }
-            }
-        }
+            },
+        );
         Ok(out)
     }
 
@@ -197,24 +221,63 @@ impl Matrix {
         Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
     }
 
+    /// Rows per parallel band in [`Matrix::gram`]. Matrices with fewer than
+    /// two bands take the original sequential path, so small problems (and
+    /// every problem at one effective thread) are bit-identical to the
+    /// serial implementation.
+    const GRAM_ROW_BAND: usize = 256;
+
     /// The Gram matrix `AᵀA` (symmetric positive semidefinite), computed
     /// without materializing `Aᵀ`.
+    ///
+    /// Large inputs accumulate one upper-triangle partial per fixed row band
+    /// in parallel; partials are merged in band-index order, so the parallel
+    /// result is bit-identical at every thread count ≥ 2 and differs from
+    /// the serial sum only by the documented band-wise reassociation
+    /// (bounded by normal f64 summation error).
     // The inner loop reads `row` at two indices (`j` and `k`); an iterator
     // would hide the upper-triangle structure.
     #[allow(clippy::needless_range_loop)]
     pub fn gram(&self) -> Matrix {
         let d = self.cols;
         let mut out = Matrix::zeros(d, d);
-        for i in 0..self.rows {
-            let row = self.row(i);
-            for j in 0..d {
-                let rj = row[j];
-                if rj == 0.0 {
-                    continue;
+        if self.rows > Self::GRAM_ROW_BAND && d > 0 && mbp_par::max_threads() > 1 {
+            let _span = mbp_obs::span("mbp.linalg.gram.par");
+            let partials = mbp_par::par_map_chunks(self.rows, Self::GRAM_ROW_BAND, |band| {
+                let mut acc = vec![0.0f64; d * d];
+                for i in band {
+                    let row = self.row(i);
+                    for j in 0..d {
+                        let rj = row[j];
+                        if rj == 0.0 {
+                            continue;
+                        }
+                        for k in j..d {
+                            acc[j * d + k] += rj * row[k];
+                        }
+                    }
                 }
-                // Only the upper triangle; mirrored below.
-                for k in j..d {
-                    out.data[j * d + k] += rj * row[k];
+                acc
+            });
+            // Band partials arrive in band-index order: a fixed reduction
+            // order, deterministic for any thread count.
+            for acc in partials {
+                for (o, a) in out.data.iter_mut().zip(&acc) {
+                    *o += a;
+                }
+            }
+        } else {
+            for i in 0..self.rows {
+                let row = self.row(i);
+                for j in 0..d {
+                    let rj = row[j];
+                    if rj == 0.0 {
+                        continue;
+                    }
+                    // Only the upper triangle; mirrored below.
+                    for k in j..d {
+                        out.data[j * d + k] += rj * row[k];
+                    }
                 }
             }
         }
@@ -363,5 +426,42 @@ mod tests {
         assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
         let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         assert_eq!(m.shape(), (2, 2));
+    }
+
+    /// A tall matrix with enough rows to trigger the banded parallel paths.
+    fn tall(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| {
+            ((i * cols + j) as f64 * 0.37).sin() * 3.0 + 0.1 * j as f64
+        })
+    }
+
+    #[test]
+    fn parallel_gram_is_bit_identical_across_thread_counts() {
+        let a = tall(700, 12);
+        let g2 = mbp_par::with_threads(2, || a.gram());
+        let g4 = mbp_par::with_threads(4, || a.gram());
+        assert_eq!(g2.as_slice(), g4.as_slice());
+        assert!(g2.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn parallel_gram_matches_serial_within_reduction_tolerance() {
+        let a = tall(700, 12);
+        let serial = mbp_par::with_threads(1, || a.gram());
+        let par = mbp_par::with_threads(4, || a.gram());
+        for (s, p) in serial.as_slice().iter().zip(par.as_slice()) {
+            assert!((s - p).abs() <= 1e-9 * s.abs().max(1.0), "{s} vs {p}");
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_serial() {
+        let a = tall(300, 40);
+        let b = tall(40, 25);
+        let serial = mbp_par::with_threads(1, || a.matmul(&b).unwrap());
+        let two = mbp_par::with_threads(2, || a.matmul(&b).unwrap());
+        let four = mbp_par::with_threads(4, || a.matmul(&b).unwrap());
+        assert_eq!(serial.as_slice(), two.as_slice());
+        assert_eq!(serial.as_slice(), four.as_slice());
     }
 }

@@ -18,6 +18,63 @@ pub trait Objective {
     fn ridge(&self) -> f64;
 }
 
+/// Examples per parallel chunk in loss/gradient accumulation. Datasets
+/// spanning fewer than two chunks keep the original sequential loops, so
+/// small-data numerics are bit-identical to the serial implementation.
+pub(crate) const EXAMPLE_GRAIN: usize = 1024;
+
+fn par_enabled(n: usize) -> bool {
+    n > EXAMPLE_GRAIN && mbp_par::max_threads() > 1
+}
+
+/// Sum of `term(i)` over all examples. Large datasets reduce fixed chunks in
+/// chunk-index order (deterministic at every thread count ≥ 2); small ones
+/// run the plain left-to-right sum.
+fn accumulate_scalar(span: &'static str, n: usize, term: impl Fn(usize) -> f64 + Sync) -> f64 {
+    if par_enabled(n) {
+        let _span = mbp_obs::span(span);
+        mbp_par::par_map_chunks(n, EXAMPLE_GRAIN, |r| r.map(&term).sum::<f64>())
+            .into_iter()
+            .fold(0.0, |a, b| a + b)
+    } else {
+        (0..n).map(term).sum()
+    }
+}
+
+/// Dense accumulator of per-example updates into a `d`-vector. Large
+/// datasets build one partial per fixed chunk and merge the partials in
+/// chunk-index order; small ones apply the updates sequentially.
+fn accumulate_dense(
+    span: &'static str,
+    d: usize,
+    n: usize,
+    add_example: impl Fn(&mut [f64], usize) + Sync,
+) -> Vec<f64> {
+    if par_enabled(n) {
+        let _span = mbp_obs::span(span);
+        let partials = mbp_par::par_map_chunks(n, EXAMPLE_GRAIN, |r| {
+            let mut acc = vec![0.0; d];
+            for i in r {
+                add_example(&mut acc, i);
+            }
+            acc
+        });
+        let mut out = vec![0.0; d];
+        for acc in partials {
+            for (o, a) in out.iter_mut().zip(&acc) {
+                *o += a;
+            }
+        }
+        out
+    } else {
+        let mut out = vec![0.0; d];
+        for i in 0..n {
+            add_example(&mut out, i);
+        }
+        out
+    }
+}
+
 fn ridge_value(mu: f64, h: &Vector) -> f64 {
     if mu > 0.0 {
         0.5 * mu * h.norm2_squared()
@@ -58,25 +115,24 @@ impl SquaredLoss {
 impl Objective for SquaredLoss {
     fn value(&self, h: &Vector, ds: &Dataset) -> f64 {
         let n = ds.n().max(1) as f64;
-        let mut sum = 0.0;
-        for i in 0..ds.n() {
+        let sum = accumulate_scalar("mbp.ml.loss.value.par", ds.n(), |i| {
             let (x, y) = ds.example(i);
             let r = dot(h.as_slice(), x) - y;
-            sum += r * r;
-        }
+            r * r
+        });
         sum / (2.0 * n) + ridge_value(self.mu, h)
     }
 
     fn gradient(&self, h: &Vector, ds: &Dataset) -> Vector {
         let n = ds.n().max(1) as f64;
-        let mut g = Vector::zeros(h.len());
-        for i in 0..ds.n() {
+        let sums = accumulate_dense("mbp.ml.loss.grad.par", h.len(), ds.n(), |acc, i| {
             let (x, y) = ds.example(i);
             let r = dot(h.as_slice(), x) - y;
-            for (gj, xj) in g.as_mut_slice().iter_mut().zip(x) {
+            for (gj, xj) in acc.iter_mut().zip(x) {
                 *gj += r * xj;
             }
-        }
+        });
+        let mut g = Vector::from_vec(sums);
         g.scale_in_place(1.0 / n);
         add_ridge_grad(self.mu, h, &mut g);
         g
@@ -116,14 +172,13 @@ impl LogisticLoss {
     pub fn hessian(&self, h: &Vector, ds: &Dataset) -> Matrix {
         let n = ds.n().max(1) as f64;
         let d = h.len();
-        let mut hess = Matrix::zeros(d, d);
-        for i in 0..ds.n() {
+        let upper = accumulate_dense("mbp.ml.loss.hessian.par", d * d, ds.n(), |acc, i| {
             let (x, y) = ds.example(i);
             let m = y * dot(h.as_slice(), x);
             let s = sigmoid(m);
             let w = s * (1.0 - s) / n;
             if w == 0.0 {
-                continue;
+                return;
             }
             for j in 0..d {
                 let xj = x[j];
@@ -131,11 +186,11 @@ impl LogisticLoss {
                     continue;
                 }
                 for k in j..d {
-                    let add = w * xj * x[k];
-                    hess.set(j, k, hess.get(j, k) + add);
+                    acc[j * d + k] += w * xj * x[k];
                 }
             }
-        }
+        });
+        let mut hess = Matrix::from_vec(d, d, upper).expect("square buffer");
         for j in 0..d {
             for k in (j + 1)..d {
                 hess.set(k, j, hess.get(j, k));
@@ -151,26 +206,25 @@ impl LogisticLoss {
 impl Objective for LogisticLoss {
     fn value(&self, h: &Vector, ds: &Dataset) -> f64 {
         let n = ds.n().max(1) as f64;
-        let mut sum = 0.0;
-        for i in 0..ds.n() {
+        let sum = accumulate_scalar("mbp.ml.loss.value.par", ds.n(), |i| {
             let (x, y) = ds.example(i);
-            sum += log1p_exp(-y * dot(h.as_slice(), x));
-        }
+            log1p_exp(-y * dot(h.as_slice(), x))
+        });
         sum / n + ridge_value(self.mu, h)
     }
 
     fn gradient(&self, h: &Vector, ds: &Dataset) -> Vector {
         let n = ds.n().max(1) as f64;
-        let mut g = Vector::zeros(h.len());
-        for i in 0..ds.n() {
+        let sums = accumulate_dense("mbp.ml.loss.grad.par", h.len(), ds.n(), |acc, i| {
             let (x, y) = ds.example(i);
             let m = y * dot(h.as_slice(), x);
             // d/dm log(1+e^{-m}) = -σ(-m); chain rule brings y·x.
             let coeff = -y * sigmoid(-m);
-            for (gj, xj) in g.as_mut_slice().iter_mut().zip(x) {
+            for (gj, xj) in acc.iter_mut().zip(x) {
                 *gj += coeff * xj;
             }
-        }
+        });
+        let mut g = Vector::from_vec(sums);
         g.scale_in_place(1.0 / n);
         add_ridge_grad(self.mu, h, &mut g);
         g
@@ -239,27 +293,26 @@ impl SmoothedHingeLoss {
 impl Objective for SmoothedHingeLoss {
     fn value(&self, h: &Vector, ds: &Dataset) -> f64 {
         let n = ds.n().max(1) as f64;
-        let mut sum = 0.0;
-        for i in 0..ds.n() {
+        let sum = accumulate_scalar("mbp.ml.loss.value.par", ds.n(), |i| {
             let (x, y) = ds.example(i);
-            sum += self.phi(y * dot(h.as_slice(), x));
-        }
+            self.phi(y * dot(h.as_slice(), x))
+        });
         sum / n + ridge_value(self.mu, h)
     }
 
     fn gradient(&self, h: &Vector, ds: &Dataset) -> Vector {
         let n = ds.n().max(1) as f64;
-        let mut g = Vector::zeros(h.len());
-        for i in 0..ds.n() {
+        let sums = accumulate_dense("mbp.ml.loss.grad.par", h.len(), ds.n(), |acc, i| {
             let (x, y) = ds.example(i);
             let coeff = y * self.dphi(y * dot(h.as_slice(), x));
             if coeff == 0.0 {
-                continue;
+                return;
             }
-            for (gj, xj) in g.as_mut_slice().iter_mut().zip(x) {
+            for (gj, xj) in acc.iter_mut().zip(x) {
                 *gj += coeff * xj;
             }
-        }
+        });
+        let mut g = Vector::from_vec(sums);
         g.scale_in_place(1.0 / n);
         add_ridge_grad(self.mu, h, &mut g);
         g
@@ -405,6 +458,43 @@ mod tests {
         assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
         assert!(sigmoid(-800.0) >= 0.0);
         assert!(sigmoid(800.0) <= 1.0);
+    }
+
+    /// A classification dataset large enough to cross `EXAMPLE_GRAIN`.
+    fn big_clf(n: usize, d: usize) -> Dataset {
+        let x = Matrix::from_fn(n, d, |i, j| ((i * d + j) as f64 * 0.61).sin());
+        let y = Vector::from_vec(
+            (0..n)
+                .map(|i| {
+                    if (i as f64 * 0.37).cos() > 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect(),
+        );
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn parallel_gradients_are_deterministic_across_thread_counts() {
+        let ds = big_clf(3000, 6);
+        let h = Vector::from_vec(vec![0.3, -0.2, 0.15, 0.0, -0.4, 0.25]);
+        let loss = LogisticLoss::ridge(0.05);
+        let g2 = mbp_par::with_threads(2, || loss.gradient(&h, &ds));
+        let g4 = mbp_par::with_threads(4, || loss.gradient(&h, &ds));
+        assert_eq!(g2.as_slice(), g4.as_slice());
+        let serial = mbp_par::with_threads(1, || loss.gradient(&h, &ds));
+        for (s, p) in serial.as_slice().iter().zip(g2.as_slice()) {
+            assert!((s - p).abs() <= 1e-12 * s.abs().max(1.0), "{s} vs {p}");
+        }
+        let v2 = mbp_par::with_threads(2, || loss.value(&h, &ds));
+        let v4 = mbp_par::with_threads(4, || loss.value(&h, &ds));
+        assert_eq!(v2.to_bits(), v4.to_bits());
+        let hess2 = mbp_par::with_threads(2, || loss.hessian(&h, &ds));
+        let hess4 = mbp_par::with_threads(4, || loss.hessian(&h, &ds));
+        assert_eq!(hess2.as_slice(), hess4.as_slice());
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! The worker pool: spawn-once threads draining a shared job queue.
+//!
+//! Workers are created when the pool is built and live until it is dropped;
+//! parallel regions never spawn threads of their own. Jobs are type-erased
+//! `FnOnce` boxes; the scoped layer in `lib.rs` is responsible for making
+//! borrowed closures safe to enqueue here.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// A type-erased unit of work.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolState {
+    queue: Mutex<Queue>,
+    available: Condvar,
+}
+
+/// A fixed-size pool of worker threads fed from one shared queue.
+///
+/// The pool is deliberately minimal: no work stealing, no per-worker deques.
+/// Parallel regions submit a handful of long-lived "helper loop" jobs (one
+/// per extra thread) that pull chunks off an atomic counter, so the queue
+/// itself is never hot.
+pub struct ThreadPool {
+    state: Arc<PoolState>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `workers` threads. Zero workers is valid: every region then
+    /// runs entirely on the calling thread.
+    pub fn new(workers: usize) -> Self {
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                thread::Builder::new()
+                    .name(format!("mbp-par-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("failed to spawn mbp-par worker thread")
+            })
+            .collect();
+        ThreadPool { state, workers }
+    }
+
+    /// Number of worker threads (excluding callers, which also participate
+    /// in parallel regions).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job for any idle worker.
+    pub(crate) fn submit(&self, job: Job) {
+        let mut q = self.state.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.jobs.push_back(job);
+        drop(q);
+        self.state.available.notify_one();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.state.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.shutdown = true;
+        }
+        self.state.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(state: &PoolState) {
+    crate::mark_worker_thread();
+    loop {
+        let job = {
+            let mut q = state.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = state.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match job {
+            // Scoped tasks catch their own panics and record them on the
+            // scope; this outer catch only shields the worker from panics in
+            // jobs submitted outside the scope machinery.
+            Some(job) => {
+                let _ = panic::catch_unwind(AssertUnwindSafe(job));
+            }
+            None => return,
+        }
+    }
+}

@@ -138,6 +138,28 @@ impl<T: ?Sized> RwLock<T> {
         };
         RwLockWriteGuard { inner }
     }
+
+    /// Attempts a shared read guard without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts an exclusive write guard without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
@@ -210,5 +232,23 @@ mod tests {
         }
         *l.write() = 7;
         assert_eq!(*l.read(), 7);
+    }
+
+    #[test]
+    fn rwlock_try_variants_report_contention() {
+        let l = RwLock::new(3);
+        {
+            let w = l.write();
+            assert!(l.try_read().is_none());
+            assert!(l.try_write().is_none());
+            drop(w);
+        }
+        {
+            let r = l.read();
+            assert!(l.try_read().is_some());
+            assert!(l.try_write().is_none());
+            drop(r);
+        }
+        assert!(l.try_write().is_some());
     }
 }
