@@ -279,6 +279,56 @@ fn main() {
         }
     });
 
+    // Quote-serving baseline: compiled-table vs scan pricing, batched and
+    // zero-allocation purchase paths, and the ridge factorization cache.
+    // Writes BENCH_serving.json (overridable with MBP_SERVING_OUT; quote
+    // count with MBP_SERVE_QUOTES).
+    run_phase(&mut phases, "serving-baseline", || {
+        let quotes = std::env::var("MBP_SERVE_QUOTES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&q| q >= 64)
+            .unwrap_or(20_000);
+        let baseline = mbp_bench::servebench::run(quotes);
+        print_table(
+            &format!(
+                "Serving baseline ({} quotes, {}-knot grid, table speedup {:.2}x, factor-cache speedup {:.2}x)",
+                quotes,
+                baseline.grid_points,
+                baseline.table_speedup_vs_scan,
+                baseline.factor_cache_speedup
+            ),
+            &[
+                "workload",
+                "quotes",
+                "quotes/sec",
+                "p50_us",
+                "p99_us",
+                "deterministic",
+            ],
+            &baseline
+                .workloads
+                .iter()
+                .map(|w| {
+                    vec![
+                        w.name.to_string(),
+                        w.quotes.to_string(),
+                        fmt(w.quotes_per_sec),
+                        fmt(w.p50_micros),
+                        fmt(w.p99_micros),
+                        w.deterministic.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let out =
+            std::env::var("MBP_SERVING_OUT").unwrap_or_else(|_| "BENCH_serving.json".to_string());
+        match std::fs::write(&out, baseline.to_json()) {
+            Ok(()) => println!("serving baseline written to {out}"),
+            Err(e) => eprintln!("could not write serving baseline {out}: {e}"),
+        }
+    });
+
     // Per-phase wall times and metric volume.
     print_table(
         "Observability: phase timings",

@@ -21,6 +21,7 @@
 pub mod experiments;
 pub mod parbench;
 pub mod report;
+pub mod servebench;
 
 /// Experiment-scale configuration.
 #[derive(Debug, Clone, Copy)]

@@ -118,8 +118,12 @@ fn patterned_matrix(rows: usize, cols: usize) -> Matrix {
 pub fn run(reps: usize) -> ParallelBaseline {
     let _span = mbp_obs::span("mbp.bench.parbench");
 
-    // Phase inputs are built once, outside the timed sections.
-    let gram_input = patterned_matrix(4096, 48);
+    // Phase inputs are built once, outside the timed sections. The gram
+    // input is 96 columns wide: wide enough to clear the parallel work
+    // grain (narrower inputs intentionally stay serial after the small-size
+    // regression fix, so benchmarking them would measure the serial path
+    // three times).
+    let gram_input = patterned_matrix(4096, 96);
     let matmul_a = patterned_matrix(384, 320);
     let matmul_b = patterned_matrix(320, 384);
 

@@ -77,6 +77,10 @@ COMMANDS:
             [--sharded]                 shard buyers across worker threads
                                         (deterministic in the seed at any
                                         thread count)
+            [--batch N]                 serve buyers through the batched
+                                        quote path (publishes a compiled
+                                        listing; deterministic in the seed
+                                        at any batch size)
   predict   --model MODEL_TSV     score a CSV with a saved model instance
             --csv F
 
@@ -472,7 +476,7 @@ fn cmd_sell(args: &Args) -> Result<String, CliError> {
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     use mbp_core::error::SquareLossTransform;
     use mbp_core::market::simulation::{
-        simulate_market, simulate_market_sharded, SimulationConfig,
+        simulate_market, simulate_market_batched, simulate_market_sharded, SimulationConfig,
     };
     use mbp_core::market::{Broker, Seller};
 
@@ -515,11 +519,37 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         n_buyers: buyers,
         valuation_jitter: jitter,
     };
+    // --batch N serves buyers through the compiled-table batched quote
+    // path: the pricing curve is published as a listing (compiling its
+    // PricingTable) and purchases flow through Broker::buy_batch in
+    // N-sized groups. The outcome depends only on --seed, never on N.
+    let batch = match args.get("batch") {
+        Some(raw) => {
+            let n = raw
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| {
+                    CliError::Args(ArgError::BadValue {
+                        flag: "batch".into(),
+                        value: raw.into(),
+                        expected: "a positive integer",
+                    })
+                })?;
+            Some(n)
+        }
+        None => None,
+    };
     // --sharded splits the buyer stream across the thread pool with one
     // seed stream per shard; results depend only on --seed, never on the
     // thread count. The default path replays the exact pre-existing
     // sequential RNG stream.
-    let outcome = if args.get_bool("sharded") {
+    let outcome = if let Some(batch) = batch {
+        broker
+            .publish(kind, pricing.clone(), Box::new(SquareLossTransform))
+            .map_err(|e| CliError::Market(e.to_string()))?;
+        simulate_market_batched(&mut broker, &seller, kind, cfg, batch, seed ^ 0xba7c)
+    } else if args.get_bool("sharded") {
         simulate_market_sharded(
             &mut broker,
             &seller,
@@ -890,6 +920,26 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(count(&a, "served") + count(&a, "declined"), 300);
+    }
+
+    #[test]
+    fn simulate_batched_is_invariant_to_batch_size() {
+        let a = run(&argv(
+            "simulate --buyers 300 --seed 23 --jitter 0.05 --batch 16",
+        ))
+        .unwrap();
+        let b = run(&argv(
+            "simulate --buyers 300 --seed 23 --jitter 0.05 --batch 128",
+        ))
+        .unwrap();
+        assert_eq!(a, b, "batched season must not depend on the batch size");
+        assert!(a.contains("served\t"), "{a}");
+    }
+
+    #[test]
+    fn simulate_batch_rejects_zero() {
+        let err = run(&argv("simulate --buyers 100 --seed 3 --batch 0")).unwrap_err();
+        assert!(err.to_string().contains("batch"), "{err}");
     }
 
     #[test]

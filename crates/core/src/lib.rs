@@ -45,4 +45,4 @@ pub use mechanism::{
     GaussianMechanism, LaplaceMechanism, NoiseMechanism, UniformAdditiveMechanism,
     UniformMultiplicativeMechanism,
 };
-pub use pricing::{ErrorPricedView, PricingFunction};
+pub use pricing::{ErrorPricedTable, ErrorPricedView, PhiMemo, PricingFunction, PricingTable};

@@ -3,10 +3,10 @@
 use crate::error::ErrorTransform;
 use crate::market::curves::{buyer_points, DemandCurve, ValueCurve};
 use crate::mechanism::{GaussianMechanism, NoiseMechanism};
-use crate::pricing::PricingFunction;
+use crate::pricing::{PhiMemo, PricingFunction, PricingTable};
 use crate::revenue::{solve_bv_dp, BuyerPoint, RevenueSolution};
 use mbp_data::TrainTest;
-use mbp_ml::train::{gradient_descent, newton_logistic, ridge_closed_form, TrainConfig};
+use mbp_ml::train::{gradient_descent, newton_logistic, RidgeSolver, TrainConfig};
 use mbp_ml::{LinearModel, LogisticLoss, ModelKind, SmoothedHingeLoss};
 use mbp_randx::MbpRng;
 use std::collections::HashMap;
@@ -179,16 +179,54 @@ impl PriceErrorCurve {
                 && w[0].expected_error <= w[1].expected_error + 1e-9
         })
     }
+
+    /// Cheapest price at which the curve offers expected error ≤ `err`,
+    /// linearly interpolating price between samples. `None` when `err` is
+    /// below the most accurate sampled point (or the curve is empty).
+    pub fn price_for_error(&self, err: f64) -> Option<f64> {
+        let first = self.points.first()?;
+        // NaN budgets are unsatisfiable, like budgets below the curve floor.
+        if err.is_nan() || err < first.expected_error {
+            return None;
+        }
+        // Largest sampled NCP whose error is still within budget: errors are
+        // non-decreasing along the curve, so partition on the error budget.
+        let idx = self.points.partition_point(|p| p.expected_error <= err);
+        debug_assert!(idx >= 1);
+        let lo = &self.points[idx - 1];
+        if idx == self.points.len() {
+            return Some(lo.price);
+        }
+        let hi = &self.points[idx];
+        if hi.expected_error <= lo.expected_error {
+            return Some(hi.price.min(lo.price));
+        }
+        let t = (err - lo.expected_error) / (hi.expected_error - lo.expected_error);
+        Some(lo.price + t * (hi.price - lo.price))
+    }
 }
+
+/// Per-request outcomes of a batched quote: one `(Sale, Transaction)` or
+/// per-request rejection, in request order.
+pub type QuoteBatch = Vec<Result<(Sale, Transaction), MarketError>>;
 
 struct MenuEntry {
     model: LinearModel,
+    /// Ridge coefficient the instance was trained with. Re-supporting
+    /// linear regression at a different ridge re-solves from the cached
+    /// Gram factorization instead of being silently ignored.
+    ridge: f64,
 }
 
 /// A published offer: the pricing function and error transform under which
-/// a model type is currently for sale.
+/// a model type is currently for sale, plus the serving-side artifacts
+/// compiled at publish time: the flat [`PricingTable`] and the memoized
+/// error-inverse [`PhiMemo`]. Re-publishing replaces the whole listing, so
+/// the compiled artifacts can never go stale.
 struct Listing {
     pricing: PricingFunction,
+    table: PricingTable,
+    phi: PhiMemo,
     transform: Box<dyn ErrorTransform + Send + Sync>,
 }
 
@@ -200,6 +238,9 @@ pub struct Broker {
     menu: HashMap<ModelKind, MenuEntry>,
     listings: HashMap<ModelKind, Listing>,
     ledger: Vec<Transaction>,
+    /// Lazily-built ridge solver: the train-split Gram matrix is formed
+    /// once, and Cholesky factors are cached per ridge value.
+    ridge_solver: Option<RidgeSolver>,
 }
 
 impl fmt::Debug for Broker {
@@ -226,12 +267,18 @@ impl Broker {
             menu: HashMap::new(),
             listings: HashMap::new(),
             ledger: Vec::new(),
+            ridge_solver: None,
         }
     }
 
     /// Publishes a standing offer for `kind`: later purchases can go
     /// through [`Broker::buy_listed`] without re-supplying the pricing and
     /// transform on every call. The model must already be on the menu.
+    ///
+    /// Publishing is where the serving fast path is built: the pricing
+    /// function is compiled into a [`PricingTable`] and the transform's
+    /// error-inverse is memoized into a [`PhiMemo`], so every subsequent
+    /// quote against the listing is a table lookup.
     pub fn publish(
         &mut self,
         kind: ModelKind,
@@ -242,7 +289,17 @@ impl Broker {
             mbp_obs::inc("mbp.core.publish.rejected");
             return Err(MarketError::UnsupportedModel(kind));
         }
-        self.listings.insert(kind, Listing { pricing, transform });
+        let table = pricing.compile();
+        let phi = PhiMemo::new(transform.as_ref(), &table);
+        self.listings.insert(
+            kind,
+            Listing {
+                pricing,
+                table,
+                phi,
+                transform,
+            },
+        );
         mbp_obs::inc("mbp.core.publish.count");
         mbp_obs::event(
             mbp_obs::Verbosity::Info,
@@ -253,7 +310,8 @@ impl Broker {
         Ok(())
     }
 
-    /// Fulfills a purchase against the *published* listing for `kind`.
+    /// Fulfills a purchase against the *published* listing for `kind`,
+    /// served from the compiled pricing table.
     pub fn buy_listed(
         &mut self,
         kind: ModelKind,
@@ -270,10 +328,12 @@ impl Broker {
                 .menu
                 .get(&kind)
                 .ok_or(MarketError::UnsupportedModel(kind))?;
+            mbp_obs::inc("mbp.core.pricing.table_hit");
             let (sale, tx) = execute_purchase(
                 entry,
                 self.mechanism.as_ref(),
-                &listing.pricing,
+                &PricePath::Table(&listing.table),
+                Some(&listing.phi),
                 listing.transform.as_ref(),
                 kind,
                 request,
@@ -286,9 +346,141 @@ impl Broker {
         result
     }
 
+    /// Zero-allocation variant of [`Broker::buy_listed`]: writes the
+    /// release into `sale`, reusing its model buffer when the kind and
+    /// dimension already match. After one warm-up call (and with ledger
+    /// capacity reserved via [`Broker::reserve_ledger`]), steady-state
+    /// successful purchases perform no heap allocation.
+    pub fn buy_listed_into(
+        &mut self,
+        kind: ModelKind,
+        request: PurchaseRequest,
+        rng: &mut MbpRng,
+        sale: &mut Sale,
+    ) -> Result<(), MarketError> {
+        let _span = mbp_obs::span("mbp.core.buy");
+        let result = (|| {
+            let listing = self
+                .listings
+                .get(&kind)
+                .ok_or(MarketError::UnsupportedModel(kind))?;
+            let entry = self
+                .menu
+                .get(&kind)
+                .ok_or(MarketError::UnsupportedModel(kind))?;
+            mbp_obs::inc("mbp.core.pricing.table_hit");
+            let tx = execute_purchase_into(
+                entry,
+                self.mechanism.as_ref(),
+                &listing.table,
+                &listing.phi,
+                listing.transform.as_ref(),
+                kind,
+                request,
+                rng,
+                sale,
+            )?;
+            self.ledger.push(tx);
+            Ok(())
+        })();
+        match &result {
+            Ok(()) => {
+                mbp_obs::inc("mbp.core.buy.count");
+                mbp_obs::gauge_add("mbp.core.revenue.total", sale.price);
+            }
+            Err(e) => record_purchase_failure(e),
+        }
+        result
+    }
+
+    /// Quotes a whole batch against the published listing for `kind`: the
+    /// listing, menu entry, and compiled table are resolved once and reused
+    /// across all requests. Returns one result per request, in order; the
+    /// outer error fires only when `kind` has no listing. The ledger is
+    /// untouched — pair with [`Broker::settle`] or use
+    /// [`Broker::buy_batch`].
+    pub fn quote_batch(
+        &self,
+        kind: ModelKind,
+        requests: &[PurchaseRequest],
+        rng: &mut MbpRng,
+    ) -> Result<QuoteBatch, MarketError> {
+        let _span = mbp_obs::span("mbp.core.buy_batch");
+        let listing = self
+            .listings
+            .get(&kind)
+            .ok_or(MarketError::UnsupportedModel(kind))?;
+        let entry = self
+            .menu
+            .get(&kind)
+            .ok_or(MarketError::UnsupportedModel(kind))?;
+        mbp_obs::counter_add("mbp.core.pricing.table_hit", requests.len() as u64);
+        let pricing = PricePath::Table(&listing.table);
+        let mut out = Vec::with_capacity(requests.len());
+        let mut served = 0u64;
+        let mut revenue = 0.0;
+        for &request in requests {
+            let r = execute_purchase(
+                entry,
+                self.mechanism.as_ref(),
+                &pricing,
+                Some(&listing.phi),
+                listing.transform.as_ref(),
+                kind,
+                request,
+                rng,
+            );
+            if let Ok((sale, _)) = &r {
+                served += 1;
+                revenue += sale.price;
+            }
+            out.push(r);
+        }
+        mbp_obs::counter_add("mbp.core.buy.count", served);
+        mbp_obs::counter_add("mbp.core.buy.rejected", requests.len() as u64 - served);
+        mbp_obs::gauge_add("mbp.core.revenue.total", revenue);
+        Ok(out)
+    }
+
+    /// Batch purchase against the published listing: quotes every request
+    /// via [`Broker::quote_batch`] and settles the successful transactions
+    /// into the ledger in request order. RNG consumption matches a
+    /// sequential loop of [`Broker::buy_listed`] calls exactly.
+    pub fn buy_batch(
+        &mut self,
+        kind: ModelKind,
+        requests: &[PurchaseRequest],
+        rng: &mut MbpRng,
+    ) -> Result<Vec<Result<Sale, MarketError>>, MarketError> {
+        let results = self.quote_batch(kind, requests, rng)?;
+        self.ledger
+            .reserve(results.iter().filter(|r| r.is_ok()).count());
+        Ok(results
+            .into_iter()
+            .map(|r| {
+                r.map(|(sale, tx)| {
+                    self.ledger.push(tx);
+                    sale
+                })
+            })
+            .collect())
+    }
+
+    /// Pre-allocates ledger capacity for `additional` upcoming
+    /// transactions, so steady-state [`Broker::buy_listed_into`] pushes
+    /// never reallocate.
+    pub fn reserve_ledger(&mut self, additional: usize) {
+        self.ledger.reserve(additional);
+    }
+
     /// The published pricing for `kind`, if any.
     pub fn listed_pricing(&self, kind: ModelKind) -> Option<&PricingFunction> {
         self.listings.get(&kind).map(|l| &l.pricing)
+    }
+
+    /// The compiled pricing table for `kind`'s listing, if any.
+    pub fn listed_table(&self, kind: ModelKind) -> Option<&PricingTable> {
+        self.listings.get(&kind).map(|l| &l.table)
     }
 
     /// The dataset backing the market.
@@ -297,11 +489,26 @@ impl Broker {
     }
 
     /// Adds `kind` to the menu, training the optimal instance `h*_λ(D)` on
-    /// the train split (the broker's one-time cost). Idempotent.
+    /// the train split (the broker's one-time cost).
+    ///
+    /// Iteratively-trained kinds (logistic, SVM) are idempotent per kind:
+    /// repeat calls return the cached instance regardless of `ridge`.
+    /// Linear regression instead caches at the factorization level: the
+    /// Gram matrix `XᵀX/n` is formed once per broker, Cholesky factors are
+    /// cached per ridge value, and re-supporting at a *different* ridge
+    /// re-solves from the cached Gram (counted by
+    /// `mbp.core.broker.factor_cache_hit`/`miss`) instead of being
+    /// silently ignored.
     pub fn support(&mut self, kind: ModelKind, ridge: f64) -> Result<&LinearModel, MarketError> {
         let _span = mbp_obs::span("mbp.core.support");
         mbp_obs::inc("mbp.core.support.count");
-        if !self.menu.contains_key(&kind) {
+        let cached_ridge = self.menu.get(&kind).map(|e| e.ridge);
+        let needs_training = match (kind, cached_ridge) {
+            (_, None) => true,
+            (ModelKind::LinearRegression, Some(prev)) => prev.to_bits() != ridge.to_bits(),
+            (_, Some(_)) => false,
+        };
+        if needs_training {
             mbp_obs::inc("mbp.core.support.trained");
             mbp_obs::event(
                 mbp_obs::Verbosity::Info,
@@ -310,7 +517,18 @@ impl Broker {
                 &[("kind", format!("{kind:?}")), ("ridge", format!("{ridge}"))],
             );
             let weights = match kind {
-                ModelKind::LinearRegression => ridge_closed_form(&self.data.train, ridge)?,
+                ModelKind::LinearRegression => {
+                    if self.ridge_solver.is_none() {
+                        self.ridge_solver = Some(RidgeSolver::new(&self.data.train)?);
+                    }
+                    let solver = self.ridge_solver.as_mut().expect("just initialized");
+                    if solver.has_factor(ridge) {
+                        mbp_obs::inc("mbp.core.broker.factor_cache_hit");
+                    } else {
+                        mbp_obs::inc("mbp.core.broker.factor_cache_miss");
+                    }
+                    solver.solve(ridge)?
+                }
                 ModelKind::LogisticRegression => {
                     newton_logistic(
                         &LogisticLoss::ridge(ridge),
@@ -333,10 +551,22 @@ impl Broker {
                 kind,
                 MenuEntry {
                     model: LinearModel::new(kind, weights),
+                    ridge,
                 },
             );
+        } else if kind == ModelKind::LinearRegression {
+            // Same (kind, ridge) already on the menu: a pure cache hit.
+            mbp_obs::inc("mbp.core.broker.factor_cache_hit");
         }
         Ok(&self.menu[&kind].model)
+    }
+
+    /// Number of distinct ridge factorizations cached for linear
+    /// regression (0 before the first [`Broker::support`] call).
+    pub fn factor_cache_size(&self) -> usize {
+        self.ridge_solver
+            .as_ref()
+            .map_or(0, RidgeSolver::factor_count)
     }
 
     /// The cached optimal instance for `kind`, if supported.
@@ -410,10 +640,12 @@ impl Broker {
                 .menu
                 .get(&kind)
                 .ok_or(MarketError::UnsupportedModel(kind))?;
+            mbp_obs::inc("mbp.core.pricing.table_miss");
             execute_purchase(
                 entry,
                 self.mechanism.as_ref(),
-                pricing,
+                &PricePath::Scan(pricing),
+                None,
                 transform,
                 kind,
                 request,
@@ -451,42 +683,79 @@ fn record_purchase_outcome(result: Result<&Sale, &MarketError>) {
             mbp_obs::inc("mbp.core.buy.count");
             mbp_obs::gauge_add("mbp.core.revenue.total", sale.price);
         }
-        Err(e) => {
-            mbp_obs::inc("mbp.core.buy.rejected");
-            mbp_obs::event(
-                mbp_obs::Verbosity::Error,
-                "mbp.core.broker",
-                "purchase rejected",
-                &[("reason", e.to_string())],
-            );
-        }
+        Err(e) => record_purchase_failure(e),
     }
 }
 
-/// Shared purchase path: resolves the request to an NCP, prices it, and
-/// releases a freshly noised instance.
-fn execute_purchase(
-    entry: &MenuEntry,
-    mechanism: &dyn NoiseMechanism,
-    pricing: &PricingFunction,
+fn record_purchase_failure(e: &MarketError) {
+    mbp_obs::inc("mbp.core.buy.rejected");
+    mbp_obs::event(
+        mbp_obs::Verbosity::Error,
+        "mbp.core.broker",
+        "purchase rejected",
+        &[("reason", e.to_string())],
+    );
+}
+
+/// Which pricing backend a purchase is served from: the original
+/// piecewise-linear scan, or the compiled table built at publish time.
+/// Both answer the same queries with identical values (the table is
+/// cross-checked against its source in debug builds).
+enum PricePath<'a> {
+    Scan(&'a PricingFunction),
+    Table(&'a PricingTable),
+}
+
+impl PricePath<'_> {
+    fn price_for_ncp(&self, ncp: f64) -> f64 {
+        match self {
+            PricePath::Scan(p) => p.price_for_ncp(ncp),
+            PricePath::Table(t) => t.price_for_ncp(ncp),
+        }
+    }
+
+    fn max_precision_for_budget(&self, b: f64) -> Option<f64> {
+        match self {
+            PricePath::Scan(p) => p.max_precision_for_budget(b),
+            PricePath::Table(t) => t.max_precision_for_budget(b),
+        }
+    }
+
+    fn grid_max(&self) -> f64 {
+        let grid = match self {
+            PricePath::Scan(p) => p.grid(),
+            PricePath::Table(t) => t.knots(),
+        };
+        *grid.last().expect("pricing grid is non-empty")
+    }
+}
+
+/// Resolves a purchase request to the NCP of the instance to release.
+/// The memoized error-inverse is used when the caller has one (listing
+/// purchases); it answers identically to the transform's own inversion.
+fn resolve_ncp(
+    pricing: &PricePath<'_>,
+    phi: Option<&PhiMemo>,
     transform: &dyn ErrorTransform,
-    kind: ModelKind,
     request: PurchaseRequest,
-    rng: &mut MbpRng,
-) -> Result<(Sale, Transaction), MarketError> {
-    let ncp = match request {
+) -> Result<f64, MarketError> {
+    match request {
         PurchaseRequest::AtNcp(d) => {
             if !(d > 0.0 && d.is_finite()) {
                 return Err(MarketError::BadRequest(format!(
                     "NCP must be positive and finite, got {d}"
                 )));
             }
-            d
+            Ok(d)
         }
-        PurchaseRequest::ErrorBudget(eps) => transform
-            .ncp_for_error(eps)
-            .filter(|&d| d > 0.0)
-            .ok_or(MarketError::UnachievableError(eps))?,
+        PurchaseRequest::ErrorBudget(eps) => {
+            let ncp = match phi {
+                Some(memo) => memo.ncp_for_error(transform, eps),
+                None => transform.ncp_for_error(eps),
+            };
+            ncp.filter(|&d| d > 0.0)
+                .ok_or(MarketError::UnachievableError(eps))
+        }
         PurchaseRequest::PriceBudget(budget) => {
             if !(budget >= 0.0 && budget.is_finite()) {
                 return Err(MarketError::BadRequest(format!(
@@ -499,14 +768,29 @@ fn execute_purchase(
             // Budgets at/above the saturation price buy the most precise
             // version on the menu grid (never the noiseless model: the
             // grid caps precision).
-            let x_max = *pricing.grid().last().expect("pricing grid is non-empty");
-            let x = x.min(x_max);
+            let x = x.min(pricing.grid_max());
             if x <= 0.0 {
                 return Err(MarketError::InsufficientBudget(budget));
             }
-            1.0 / x
+            Ok(1.0 / x)
         }
-    };
+    }
+}
+
+/// Shared purchase path: resolves the request to an NCP, prices it, and
+/// releases a freshly noised instance.
+#[allow(clippy::too_many_arguments)]
+fn execute_purchase(
+    entry: &MenuEntry,
+    mechanism: &dyn NoiseMechanism,
+    pricing: &PricePath<'_>,
+    phi: Option<&PhiMemo>,
+    transform: &dyn ErrorTransform,
+    kind: ModelKind,
+    request: PurchaseRequest,
+    rng: &mut MbpRng,
+) -> Result<(Sale, Transaction), MarketError> {
+    let ncp = resolve_ncp(pricing, phi, transform, request)?;
     let price = pricing.price_for_ncp(ncp);
     let weights = mechanism.perturb(entry.model.weights(), ncp, rng);
     let model = entry.model.with_weights(weights);
@@ -519,6 +803,34 @@ fn execute_purchase(
         },
         Transaction { kind, ncp, price },
     ))
+}
+
+/// Allocation-free purchase path: identical resolution, pricing, and RNG
+/// consumption to [`execute_purchase`], but the release is written into
+/// `sale`'s existing model buffer.
+#[allow(clippy::too_many_arguments)]
+fn execute_purchase_into(
+    entry: &MenuEntry,
+    mechanism: &dyn NoiseMechanism,
+    table: &PricingTable,
+    phi: &PhiMemo,
+    transform: &dyn ErrorTransform,
+    kind: ModelKind,
+    request: PurchaseRequest,
+    rng: &mut MbpRng,
+    sale: &mut Sale,
+) -> Result<Transaction, MarketError> {
+    let pricing = PricePath::Table(table);
+    let ncp = resolve_ncp(&pricing, Some(phi), transform, request)?;
+    let price = pricing.price_for_ncp(ncp);
+    if sale.model.kind() != kind || sale.model.dim() != entry.model.dim() {
+        sale.model = entry.model.clone();
+    }
+    mechanism.perturb_into(entry.model.weights(), ncp, rng, sale.model.weights_mut());
+    sale.price = price;
+    sale.ncp = ncp;
+    sale.expected_error = transform.expected_error(ncp);
+    Ok(Transaction { kind, ncp, price })
 }
 
 #[cfg(test)]
@@ -740,6 +1052,272 @@ mod tests {
             broker.publish(ModelKind::LinearSvm, pricing, Box::new(SquareLossTransform)),
             Err(MarketError::UnsupportedModel(_))
         ));
+    }
+
+    /// The compiled-table listing path answers every request kind with the
+    /// same price, NCP, and released weights as the scan path fed the same
+    /// RNG stream — the end-to-end guarantee behind the serving fast path.
+    #[test]
+    fn listed_table_path_is_bit_identical_to_scan_path() {
+        let requests = [
+            PurchaseRequest::AtNcp(0.5),
+            PurchaseRequest::ErrorBudget(2.0),
+            PurchaseRequest::PriceBudget(20.0),
+            PurchaseRequest::PriceBudget(1e6),
+        ];
+        let pricing = simple_pricing();
+        let mut scan = Broker::new(market_data(30));
+        scan.support(ModelKind::LinearRegression, 0.0).unwrap();
+        let mut listed = Broker::new(market_data(30));
+        listed.support(ModelKind::LinearRegression, 0.0).unwrap();
+        listed
+            .publish(
+                ModelKind::LinearRegression,
+                pricing.clone(),
+                Box::new(SquareLossTransform),
+            )
+            .unwrap();
+        let mut rng_a = seeded_rng(31);
+        let mut rng_b = seeded_rng(31);
+        for &request in &requests {
+            let a = scan
+                .buy(
+                    ModelKind::LinearRegression,
+                    request,
+                    &pricing,
+                    &SquareLossTransform,
+                    &mut rng_a,
+                )
+                .unwrap();
+            let b = listed
+                .buy_listed(ModelKind::LinearRegression, request, &mut rng_b)
+                .unwrap();
+            assert_eq!(a.price, b.price, "{request:?}");
+            assert_eq!(a.ncp, b.ncp, "{request:?}");
+            assert_eq!(a.expected_error, b.expected_error, "{request:?}");
+            assert_eq!(a.model.weights(), b.model.weights(), "{request:?}");
+        }
+    }
+
+    /// `buy_listed_into` reuses the caller's buffers and matches
+    /// `buy_listed` bit-for-bit on the same stream; the affine φ memo is
+    /// exercised through a real regression transform.
+    #[test]
+    fn buy_listed_into_matches_buy_listed() {
+        let mut a = Broker::new(market_data(32));
+        let mut b = Broker::new(market_data(32));
+        for broker in [&mut a, &mut b] {
+            let h = broker
+                .support(ModelKind::LinearRegression, 0.0)
+                .unwrap()
+                .weights()
+                .clone();
+            let transform = LinRegSquareTransform::new(&broker.data().test.clone(), &h);
+            broker
+                .publish(
+                    ModelKind::LinearRegression,
+                    simple_pricing(),
+                    Box::new(transform),
+                )
+                .unwrap();
+        }
+        let base = a
+            .optimal_model(ModelKind::LinearRegression)
+            .unwrap()
+            .clone();
+        let floor = LinRegSquareTransform::new(&a.data().test.clone(), base.weights()).base();
+        let requests = [
+            PurchaseRequest::AtNcp(1.0),
+            PurchaseRequest::ErrorBudget(floor + 0.7),
+            PurchaseRequest::PriceBudget(25.0),
+        ];
+        let mut rng_a = seeded_rng(33);
+        let mut rng_b = seeded_rng(33);
+        let mut sale = Sale {
+            model: base,
+            price: 0.0,
+            ncp: 0.0,
+            expected_error: 0.0,
+        };
+        b.reserve_ledger(requests.len());
+        for &request in &requests {
+            let fresh = a
+                .buy_listed(ModelKind::LinearRegression, request, &mut rng_a)
+                .unwrap();
+            b.buy_listed_into(ModelKind::LinearRegression, request, &mut rng_b, &mut sale)
+                .unwrap();
+            assert_eq!(fresh.price, sale.price, "{request:?}");
+            assert_eq!(fresh.ncp, sale.ncp, "{request:?}");
+            assert_eq!(fresh.expected_error, sale.expected_error, "{request:?}");
+            assert_eq!(fresh.model.weights(), sale.model.weights(), "{request:?}");
+        }
+        assert_eq!(a.ledger().len(), b.ledger().len());
+        assert_eq!(a.total_revenue(), b.total_revenue());
+    }
+
+    /// Batch quoting consumes the RNG exactly like a sequential loop, keeps
+    /// per-request errors inline, and settles in request order.
+    #[test]
+    fn buy_batch_matches_sequential_buy_listed() {
+        let mut seq = Broker::new(market_data(34));
+        let mut bat = Broker::new(market_data(34));
+        for broker in [&mut seq, &mut bat] {
+            broker.support(ModelKind::LinearRegression, 0.0).unwrap();
+            broker
+                .publish(
+                    ModelKind::LinearRegression,
+                    simple_pricing(),
+                    Box::new(SquareLossTransform),
+                )
+                .unwrap();
+        }
+        let requests = [
+            PurchaseRequest::AtNcp(0.5),
+            PurchaseRequest::PriceBudget(5.0), // below p̄(x₁)·small ⇒ still ray-affordable
+            PurchaseRequest::AtNcp(-1.0),      // rejected inline
+            PurchaseRequest::ErrorBudget(1.5),
+            PurchaseRequest::PriceBudget(0.0), // rejected: buys zero precision
+        ];
+        let mut rng_seq = seeded_rng(35);
+        let mut rng_bat = seeded_rng(35);
+        let sequential: Vec<Result<Sale, MarketError>> = requests
+            .iter()
+            .map(|&r| seq.buy_listed(ModelKind::LinearRegression, r, &mut rng_seq))
+            .collect();
+        let batched = bat
+            .buy_batch(ModelKind::LinearRegression, &requests, &mut rng_bat)
+            .unwrap();
+        assert_eq!(sequential.len(), batched.len());
+        for (i, (s, b)) in sequential.iter().zip(&batched).enumerate() {
+            match (s, b) {
+                (Ok(s), Ok(b)) => {
+                    assert_eq!(s.price, b.price, "request {i}");
+                    assert_eq!(s.ncp, b.ncp, "request {i}");
+                    assert_eq!(s.model.weights(), b.model.weights(), "request {i}");
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("request {i}: outcome mismatch"),
+            }
+        }
+        assert_eq!(seq.ledger().len(), bat.ledger().len());
+        assert_eq!(seq.total_revenue(), bat.total_revenue());
+        // Unknown kinds fail at the batch level, not per request.
+        assert!(matches!(
+            bat.buy_batch(ModelKind::LinearSvm, &requests, &mut rng_bat),
+            Err(MarketError::UnsupportedModel(_))
+        ));
+    }
+
+    /// Linear regression re-supports at new ridges from the cached Gram
+    /// factorization; returning to an earlier ridge reuses its factor and
+    /// reproduces the exact same weights.
+    #[test]
+    fn support_caches_factorizations_across_ridges() {
+        let mut broker = Broker::new(market_data(36));
+        assert_eq!(broker.factor_cache_size(), 0);
+        let w0 = broker
+            .support(ModelKind::LinearRegression, 0.0)
+            .unwrap()
+            .weights()
+            .clone();
+        assert_eq!(broker.factor_cache_size(), 1);
+        let w1 = broker
+            .support(ModelKind::LinearRegression, 0.5)
+            .unwrap()
+            .weights()
+            .clone();
+        assert_eq!(broker.factor_cache_size(), 2);
+        assert_ne!(w0, w1, "different ridges must give different instances");
+        // Round-trip back to the first ridge: solved from the cached
+        // factor, bit-identical to the first training.
+        let w0_again = broker
+            .support(ModelKind::LinearRegression, 0.0)
+            .unwrap()
+            .weights()
+            .clone();
+        assert_eq!(w0, w0_again);
+        assert_eq!(broker.factor_cache_size(), 2);
+    }
+
+    /// Re-publishing swaps in a freshly compiled table: quotes served after
+    /// the swap follow the new pricing, never a stale table.
+    #[test]
+    fn republish_invalidates_compiled_table() {
+        let mut broker = Broker::new(market_data(37));
+        broker.support(ModelKind::LinearRegression, 0.0).unwrap();
+        let cheap = simple_pricing();
+        broker
+            .publish(
+                ModelKind::LinearRegression,
+                cheap.clone(),
+                Box::new(SquareLossTransform),
+            )
+            .unwrap();
+        let mut rng = seeded_rng(38);
+        let before = broker
+            .buy_listed(
+                ModelKind::LinearRegression,
+                PurchaseRequest::AtNcp(0.5),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(before.price, cheap.price_for_ncp(0.5));
+        let pricey = PricingFunction::from_points(
+            cheap.grid().to_vec(),
+            cheap.prices().iter().map(|p| p * 3.0).collect(),
+        )
+        .unwrap();
+        broker
+            .publish(
+                ModelKind::LinearRegression,
+                pricey.clone(),
+                Box::new(SquareLossTransform),
+            )
+            .unwrap();
+        let after = broker
+            .buy_listed(
+                ModelKind::LinearRegression,
+                PurchaseRequest::AtNcp(0.5),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(after.price, pricey.price_for_ncp(0.5));
+        assert_eq!(
+            broker
+                .listed_table(ModelKind::LinearRegression)
+                .unwrap()
+                .max_price(),
+            pricey.max_price()
+        );
+    }
+
+    #[test]
+    fn price_error_curve_inversion_interpolates() {
+        let mut broker = Broker::new(market_data(39));
+        broker.support(ModelKind::LinearRegression, 0.0).unwrap();
+        let ncps: Vec<f64> = (1..=20).map(|i| i as f64 * 0.25).collect();
+        let curve = broker
+            .price_error_curve(
+                ModelKind::LinearRegression,
+                &SquareLossTransform,
+                &simple_pricing(),
+                &ncps,
+            )
+            .unwrap();
+        // Identity transform: error == ncp. At a sampled point the price
+        // matches exactly; between points it interpolates; below the most
+        // accurate point it is unachievable.
+        let p = &curve.points;
+        assert_eq!(curve.price_for_error(p[3].expected_error), Some(p[3].price));
+        let mid = curve
+            .price_for_error(0.5 * (p[0].expected_error + p[1].expected_error))
+            .unwrap();
+        assert!(mid <= p[0].price && mid >= p[1].price);
+        assert_eq!(curve.price_for_error(p[0].expected_error * 0.5), None);
+        assert_eq!(
+            curve.price_for_error(p.last().unwrap().expected_error + 10.0),
+            Some(p.last().unwrap().price)
+        );
     }
 
     #[test]

@@ -76,6 +76,60 @@ impl SharedBroker {
         self.inner.core.write().support(kind, ridge).map(|_| ())
     }
 
+    /// Publishes a standing offer (delegates to [`Broker::publish`], which
+    /// compiles the serving-side pricing table under the write lock).
+    pub fn publish(
+        &self,
+        kind: ModelKind,
+        pricing: PricingFunction,
+        transform: Box<dyn ErrorTransform + Send + Sync>,
+    ) -> Result<(), MarketError> {
+        self.inner.core.write().publish(kind, pricing, transform)
+    }
+
+    /// Thread-safe batch purchase against the published listing for `kind`.
+    ///
+    /// The whole batch quotes under one shared read guard (one listing
+    /// lookup, compiled-table pricing) and settles under a *single* stripe
+    /// lock acquisition, so lock traffic is amortized across the batch
+    /// instead of paid per purchase. Per-request failures are returned
+    /// inline; the outer error fires only when `kind` has no listing.
+    pub fn buy_batch(
+        &self,
+        kind: ModelKind,
+        requests: &[PurchaseRequest],
+        rng: &mut MbpRng,
+    ) -> Result<Vec<Result<Sale, MarketError>>, MarketError> {
+        let results = {
+            let core = match self.inner.core.try_read() {
+                Some(g) => g,
+                None => {
+                    self.note_contention();
+                    self.inner.core.read()
+                }
+            };
+            core.quote_batch(kind, requests, rng)?
+        };
+        let idx = self.inner.next_stripe.fetch_add(1, Ordering::Relaxed) % LEDGER_STRIPES;
+        let stripe = &self.inner.stripes[idx];
+        let mut guard = match stripe.try_lock() {
+            Some(g) => g,
+            None => {
+                self.note_contention();
+                stripe.lock()
+            }
+        };
+        Ok(results
+            .into_iter()
+            .map(|r| {
+                r.map(|(sale, tx)| {
+                    guard.push(tx);
+                    sale
+                })
+            })
+            .collect())
+    }
+
     /// Thread-safe purchase; each calling thread supplies its own RNG.
     ///
     /// The quote (training + pricing) runs under a shared read guard, so
@@ -359,6 +413,55 @@ mod tests {
             "handle-local counter did not move"
         );
         assert_eq!(sb.sales_count(), 1);
+    }
+
+    /// Concurrent batches land every transaction, match per-call revenue
+    /// accounting, and take at most one stripe lock per batch (contention
+    /// stays bounded by batch count, not purchase count).
+    #[test]
+    fn concurrent_buy_batches_are_all_ledgered() {
+        let sb = shared_broker(97);
+        sb.publish(
+            ModelKind::LinearRegression,
+            pricing(),
+            Box::new(SquareLossTransform),
+        )
+        .unwrap();
+        let mut seeds = SeedStream::new(98);
+        let threads = 4;
+        let batches_per_thread = 10;
+        let batch: Vec<PurchaseRequest> = (1..=20)
+            .map(|i| PurchaseRequest::AtNcp(i as f64 * 0.1))
+            .collect();
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let sb = sb.clone();
+                let batch = batch.clone();
+                let seed = seeds.next_seed();
+                thread::spawn(move || {
+                    let mut rng = seeded_rng(seed);
+                    let mut paid = 0.0;
+                    for _ in 0..batches_per_thread {
+                        for sale in sb
+                            .buy_batch(ModelKind::LinearRegression, &batch, &mut rng)
+                            .expect("listing exists")
+                        {
+                            paid += sale.expect("all requests valid").price;
+                        }
+                    }
+                    paid
+                })
+            })
+            .collect();
+        let total_paid: f64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(sb.sales_count(), threads * batches_per_thread * batch.len());
+        assert!((sb.total_revenue() - total_paid).abs() < 1e-6);
+        // Unpublished kinds fail at the batch level.
+        let mut rng = seeded_rng(99);
+        assert!(matches!(
+            sb.buy_batch(ModelKind::LinearSvm, &batch, &mut rng),
+            Err(MarketError::UnsupportedModel(_))
+        ));
     }
 
     #[test]

@@ -12,9 +12,7 @@
 //! function tuned for one mechanism prices the others identically.
 
 use mbp_linalg::Vector;
-use mbp_randx::{
-    seeded_rng, Distribution, IsotropicGaussian, Laplace, MbpRng, Normal, UniformRange,
-};
+use mbp_randx::{seeded_rng, Distribution, Laplace, MbpRng, Normal, StandardNormal, UniformRange};
 use rand::RngCore;
 
 /// SplitMix64 finalizer: decorrelates per-chunk seeds derived from one root
@@ -37,6 +35,17 @@ pub trait NoiseMechanism: Send + Sync {
     /// parameter `ncp = δ ≥ 0`. `ncp = 0` must return `h*` exactly.
     fn perturb(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng) -> Vector;
 
+    /// Writes the noisy instance into `out`, reusing its buffer when the
+    /// dimension already matches — the zero-allocation serving path.
+    ///
+    /// Implementations must consume the same RNG stream and produce the
+    /// same value as [`NoiseMechanism::perturb`], so the two entry points
+    /// are interchangeable for determinism purposes. The default simply
+    /// delegates (and therefore allocates).
+    fn perturb_into(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng, out: &mut Vector) {
+        *out = self.perturb(h_star, ncp, rng);
+    }
+
     /// Mechanism name for reports.
     fn name(&self) -> &'static str;
 }
@@ -46,6 +55,15 @@ fn check_ncp(ncp: f64) {
         ncp >= 0.0 && ncp.is_finite(),
         "noise control parameter must be finite and >= 0, got {ncp}"
     );
+}
+
+/// Copies `h*` into `out` without allocating when the dimensions match.
+fn copy_into(h_star: &Vector, out: &mut Vector) {
+    if out.len() == h_star.len() {
+        out.as_mut_slice().copy_from_slice(h_star.as_slice());
+    } else {
+        *out = h_star.clone();
+    }
 }
 
 /// The paper's Gaussian mechanism `K_G` (Section 4.1, Figure 4):
@@ -81,10 +99,17 @@ impl GaussianMechanism {
 
 impl NoiseMechanism for GaussianMechanism {
     fn perturb(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng) -> Vector {
+        let mut out = Vector::zeros(h_star.len());
+        self.perturb_into(h_star, ncp, rng, &mut out);
+        out
+    }
+
+    fn perturb_into(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng, out: &mut Vector) {
         check_ncp(ncp);
         mbp_obs::inc("mbp.core.mechanism.gaussian.count");
+        copy_into(h_star, out);
         if ncp == 0.0 {
-            return h_star.clone();
+            return;
         }
         let d = h_star.len();
         if d >= Self::PAR_DIM {
@@ -96,20 +121,21 @@ impl NoiseMechanism for GaussianMechanism {
             let _span = mbp_obs::span("mbp.core.mechanism.gaussian.par");
             let root = rng.next_u64();
             let dist = Normal::new(0.0, (ncp / d as f64).sqrt());
-            let mut out = h_star.clone();
             mbp_par::par_chunks_mut(out.as_mut_slice(), Self::NOISE_CHUNK, |ci, chunk| {
                 let mut chunk_rng = seeded_rng(splitmix64(root ^ ci as u64));
                 for v in chunk {
                     *v += dist.sample(&mut chunk_rng);
                 }
             });
-            return out;
+            return;
         }
-        let noise = IsotropicGaussian::from_ncp(d, ncp).sample(rng);
-        let mut out = h_star.clone();
-        out.axpy(1.0, &Vector::from_vec(noise))
-            .expect("same dimension");
-        out
+        // Per-coordinate `sd·N(0,1)` draws in index order — the exact stream
+        // `IsotropicGaussian::from_ncp(d, ncp)` consumes, so releases stay
+        // bit-identical to the allocating path this replaced.
+        let sd = (ncp / d as f64).sqrt();
+        for v in out.as_mut_slice() {
+            *v += sd * StandardNormal.sample(rng);
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -125,17 +151,22 @@ pub struct LaplaceMechanism;
 
 impl NoiseMechanism for LaplaceMechanism {
     fn perturb(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng) -> Vector {
+        let mut out = Vector::zeros(h_star.len());
+        self.perturb_into(h_star, ncp, rng, &mut out);
+        out
+    }
+
+    fn perturb_into(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng, out: &mut Vector) {
         check_ncp(ncp);
+        copy_into(h_star, out);
         if ncp == 0.0 {
-            return h_star.clone();
+            return;
         }
         let d = h_star.len().max(1) as f64;
         let dist = Laplace::new((ncp / (2.0 * d)).sqrt());
-        let mut out = h_star.clone();
         for v in out.as_mut_slice() {
             *v += dist.sample(rng);
         }
-        out
     }
 
     fn name(&self) -> &'static str {
@@ -150,18 +181,23 @@ pub struct UniformAdditiveMechanism;
 
 impl NoiseMechanism for UniformAdditiveMechanism {
     fn perturb(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng) -> Vector {
+        let mut out = Vector::zeros(h_star.len());
+        self.perturb_into(h_star, ncp, rng, &mut out);
+        out
+    }
+
+    fn perturb_into(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng, out: &mut Vector) {
         check_ncp(ncp);
+        copy_into(h_star, out);
         if ncp == 0.0 {
-            return h_star.clone();
+            return;
         }
         let d = h_star.len().max(1) as f64;
         let s = (3.0 * ncp / d).sqrt();
         let dist = UniformRange::new(-s, s);
-        let mut out = h_star.clone();
         for v in out.as_mut_slice() {
             *v += dist.sample(rng);
         }
-        out
     }
 
     fn name(&self) -> &'static str {
@@ -181,21 +217,26 @@ pub struct UniformMultiplicativeMechanism;
 
 impl NoiseMechanism for UniformMultiplicativeMechanism {
     fn perturb(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng) -> Vector {
+        let mut out = Vector::zeros(h_star.len());
+        self.perturb_into(h_star, ncp, rng, &mut out);
+        out
+    }
+
+    fn perturb_into(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng, out: &mut Vector) {
         check_ncp(ncp);
+        copy_into(h_star, out);
         if ncp == 0.0 {
-            return h_star.clone();
+            return;
         }
         let norm = h_star.norm2();
         if norm <= 1e-12 {
-            return UniformAdditiveMechanism.perturb(h_star, ncp, rng);
+            return UniformAdditiveMechanism.perturb_into(h_star, ncp, rng, out);
         }
         let s = (3.0 * ncp).sqrt() / norm;
         let dist = UniformRange::new(1.0 - s, 1.0 + s);
-        let mut out = h_star.clone();
         for v in out.as_mut_slice() {
             *v *= dist.sample(rng);
         }
-        out
     }
 
     fn name(&self) -> &'static str {
@@ -286,6 +327,38 @@ mod tests {
         let out = UniformMultiplicativeMechanism.perturb(&h, 1.0, &mut rng);
         // Falls back to additive noise: output differs from zero.
         assert!(out.norm2() > 0.0);
+    }
+
+    /// `perturb_into` consumes the same stream and produces the same release
+    /// as `perturb`, for every mechanism, whether the buffer is reused or
+    /// grown — the contract the zero-allocation serving path depends on.
+    #[test]
+    fn perturb_into_is_bit_identical_to_perturb() {
+        let h = h_star();
+        for mech in all_mechanisms() {
+            for &ncp in &[0.0, 0.5, 2.0] {
+                let mut rng_a = seeded_rng(321);
+                let mut rng_b = seeded_rng(321);
+                let fresh = mech.perturb(&h, ncp, &mut rng_a);
+                // Reused buffer of the right size, pre-filled with junk.
+                let mut out = Vector::filled(h.len(), f64::NAN);
+                mech.perturb_into(&h, ncp, &mut rng_b, &mut out);
+                assert_eq!(fresh, out, "{} ncp={ncp}", mech.name());
+                // Wrong-size buffer is grown, value unchanged.
+                let mut rng_c = seeded_rng(321);
+                let mut small = Vector::zeros(1);
+                mech.perturb_into(&h, ncp, &mut rng_c, &mut small);
+                assert_eq!(fresh, small, "{} ncp={ncp} (grown)", mech.name());
+            }
+        }
+        // The zero-norm multiplicative fallback also matches.
+        let zero = Vector::zeros(4);
+        let mut rng_a = seeded_rng(9);
+        let mut rng_b = seeded_rng(9);
+        let fresh = UniformMultiplicativeMechanism.perturb(&zero, 1.0, &mut rng_a);
+        let mut out = Vector::zeros(4);
+        UniformMultiplicativeMechanism.perturb_into(&zero, 1.0, &mut rng_b, &mut out);
+        assert_eq!(fresh, out);
     }
 
     #[test]

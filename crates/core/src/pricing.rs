@@ -116,19 +116,24 @@ impl PricingFunction {
         &self.prices
     }
 
-    /// Evaluates `p̄(x)` for any precision `x ≥ 0` (Proposition 1 rules).
+    /// Evaluates `p̄(x)` for any precision `x` (Proposition 1 rules).
     ///
-    /// # Panics
-    /// Panics for negative or non-finite `x`.
+    /// Out-of-domain queries clamp deterministically instead of panicking
+    /// or falling through the segment scan:
+    ///
+    /// * `x` at or below the first grid point follows the origin ray;
+    /// * `x` at or above the last grid point returns the saturation price;
+    /// * negative `x` and `NaN` clamp to precision `0` (price `0`);
+    /// * `+∞` returns [`Self::max_price`] (the tail is constant).
     pub fn price_at(&self, x: f64) -> f64 {
-        assert!(x >= 0.0 && x.is_finite(), "precision must be >= 0, got {x}");
+        // Non-positive precisions and NaN all clamp to price zero.
+        if x.is_nan() || x <= 0.0 {
+            return 0.0;
+        }
         let n = self.grid.len();
         // Constant-price special case: grid carries no slope information.
         if n == 1 {
-            return if x == 0.0 { 0.0 } else { self.prices[0] };
-        }
-        if x == 0.0 {
-            return 0.0;
+            return self.prices[0];
         }
         if x <= self.grid[0] {
             return self.prices[0] * x / self.grid[0];
@@ -143,16 +148,15 @@ impl PricingFunction {
     }
 
     /// Price of the model released with noise control parameter `δ > 0`:
-    /// `p(δ) = p̄(1/δ)`.
+    /// `p(δ) = p̄(1/δ)`. `δ = +∞` is accepted and prices at `p̄(0) = 0`
+    /// (infinitely noisy releases are free).
     ///
     /// # Panics
-    /// Panics for `δ ≤ 0` (a zero-noise release has unbounded precision;
-    /// its price is the curve's saturation value, use [`Self::max_price`]).
+    /// Panics for `δ ≤ 0` or `NaN` (a zero-noise release has unbounded
+    /// precision; its price is the curve's saturation value, use
+    /// [`Self::max_price`]).
     pub fn price_for_ncp(&self, delta: f64) -> f64 {
-        assert!(
-            delta > 0.0 && delta.is_finite(),
-            "NCP must be > 0, got {delta}"
-        );
+        assert!(delta > 0.0, "NCP must be > 0, got {delta}");
         self.price_at(1.0 / delta)
     }
 
@@ -167,8 +171,14 @@ impl PricingFunction {
     /// Because `p̄` is monotone, this is a scan over segments; within the
     /// saturated tail any precision is affordable, so the function returns
     /// `f64::INFINITY` when `b ≥ max_price()`.
+    ///
+    /// Edge cases clamp deterministically: a negative or `NaN` budget buys
+    /// nothing (`None`), and `b = +∞` affords unbounded precision
+    /// (`Some(∞)`, via the `b ≥ max_price()` branch).
     pub fn max_precision_for_budget(&self, b: f64) -> Option<f64> {
-        assert!(b >= 0.0 && b.is_finite(), "budget must be >= 0");
+        if b.is_nan() || b < 0.0 {
+            return None;
+        }
         if b >= self.max_price() {
             return Some(f64::INFINITY);
         }
@@ -200,6 +210,323 @@ impl PricingFunction {
             break;
         }
         Some(best)
+    }
+
+    /// Lowers this function into a compiled [`PricingTable`] for the
+    /// quote-serving fast path.
+    pub fn compile(&self) -> PricingTable {
+        PricingTable::from_function(self)
+    }
+}
+
+/// A compiled, flat sorted-segment form of a [`PricingFunction`] for the
+/// quote-serving fast path.
+///
+/// At publish time the piecewise-linear curve is lowered into parallel
+/// arrays of knots, knot prices, and *precomputed per-segment slopes*, so
+/// [`PricingTable::price_at`] is a branchless binary search plus one fused
+/// multiply-add — `O(log n)`, no allocation, no division. The segment scan
+/// in [`PricingFunction::max_precision_for_budget`] is likewise replaced by
+/// a binary search over the knot prices whenever they are non-decreasing
+/// (always the case for arbitrage-free curves; non-monotone "broken"
+/// curves fall back to the exact scan semantics).
+///
+/// Debug builds cross-check every table answer against the original
+/// function to `1e-12` (relative), so any drift between the compiled and
+/// scan representations fails loudly in tests.
+#[derive(Debug, Clone)]
+pub struct PricingTable {
+    knots: Vec<f64>,
+    prices: Vec<f64>,
+    /// `slopes[i] = (prices[i+1] − prices[i]) / (knots[i+1] − knots[i])`;
+    /// empty for a single-knot (constant) curve.
+    slopes: Vec<f64>,
+    /// Slope of the origin ray `prices[0] / knots[0]`.
+    ray_slope: f64,
+    max_price: f64,
+    /// `true` when knot prices are non-decreasing (monotone curves admit
+    /// binary-search budget inversion).
+    monotone: bool,
+    #[cfg(debug_assertions)]
+    source: PricingFunction,
+}
+
+impl PricingTable {
+    /// Compiles `f` into its flat segment representation.
+    pub fn from_function(f: &PricingFunction) -> Self {
+        let _span = mbp_obs::span("mbp.core.pricing.table_build");
+        mbp_obs::inc("mbp.core.pricing.table_build.count");
+        let knots = f.grid().to_vec();
+        let prices = f.prices().to_vec();
+        let slopes: Vec<f64> = knots
+            .windows(2)
+            .zip(prices.windows(2))
+            .map(|(x, y)| (y[1] - y[0]) / (x[1] - x[0]))
+            .collect();
+        PricingTable {
+            ray_slope: prices[0] / knots[0],
+            max_price: *prices.last().expect("non-empty by construction"),
+            monotone: prices.windows(2).all(|w| w[0] <= w[1]),
+            slopes,
+            knots,
+            prices,
+            #[cfg(debug_assertions)]
+            source: f.clone(),
+        }
+    }
+
+    /// The knot positions (the source grid).
+    pub fn knots(&self) -> &[f64] {
+        &self.knots
+    }
+
+    /// The saturation price `z_n`.
+    pub fn max_price(&self) -> f64 {
+        self.max_price
+    }
+
+    /// Index of the last knot `≤ x`, found by a branchless binary search
+    /// (the loop bound depends only on the table length, and each step is a
+    /// compare-and-select rather than a data-dependent branch).
+    #[inline]
+    fn segment_index(&self, x: f64) -> usize {
+        let mut lo = 0usize;
+        let mut len = self.knots.len();
+        while len > 1 {
+            let half = len / 2;
+            let mid = lo + half;
+            lo = if self.knots[mid] <= x { mid } else { lo };
+            len -= half;
+        }
+        lo
+    }
+
+    /// Table evaluation of `p̄(x)` with the same clamp semantics as
+    /// [`PricingFunction::price_at`].
+    #[inline]
+    pub fn price_at(&self, x: f64) -> f64 {
+        let p = self.price_at_inner(x);
+        #[cfg(debug_assertions)]
+        {
+            let direct = self.source.price_at(x);
+            debug_assert!(
+                (p - direct).abs() <= 1e-12 * direct.abs().max(1.0),
+                "compiled table diverged from source at x={x}: {p} vs {direct}"
+            );
+        }
+        p
+    }
+
+    #[inline]
+    fn price_at_inner(&self, x: f64) -> f64 {
+        // NaN and non-positive precisions clamp to price 0.
+        if x.is_nan() || x <= 0.0 {
+            return 0.0;
+        }
+        if self.knots.len() == 1 {
+            return self.prices[0];
+        }
+        if x >= *self.knots.last().expect("non-empty") {
+            return self.max_price;
+        }
+        if x <= self.knots[0] {
+            return self.ray_slope * x;
+        }
+        let i = self.segment_index(x);
+        self.prices[i] + self.slopes[i] * (x - self.knots[i])
+    }
+
+    /// Table evaluation of `p(δ) = p̄(1/δ)`.
+    ///
+    /// # Panics
+    /// Panics for `δ ≤ 0` or `NaN`, like [`PricingFunction::price_for_ncp`].
+    #[inline]
+    pub fn price_for_ncp(&self, delta: f64) -> f64 {
+        assert!(delta > 0.0, "NCP must be > 0, got {delta}");
+        self.price_at(1.0 / delta)
+    }
+
+    /// Budget inversion with the same semantics as
+    /// [`PricingFunction::max_precision_for_budget`], answered by binary
+    /// search on monotone curves.
+    pub fn max_precision_for_budget(&self, b: f64) -> Option<f64> {
+        let x = self.max_precision_for_budget_inner(b);
+        #[cfg(debug_assertions)]
+        {
+            let direct = self.source.max_precision_for_budget(b);
+            debug_assert!(
+                match (x, direct) {
+                    (None, None) => true,
+                    (Some(a), Some(d)) => a == d || (a - d).abs() <= 1e-12 * d.abs().max(1.0),
+                    _ => false,
+                },
+                "compiled budget inversion diverged at b={b}: {x:?} vs {direct:?}"
+            );
+        }
+        x
+    }
+
+    fn max_precision_for_budget_inner(&self, b: f64) -> Option<f64> {
+        if b.is_nan() || b < 0.0 {
+            return None;
+        }
+        if b >= self.max_price {
+            return Some(f64::INFINITY);
+        }
+        let n = self.knots.len();
+        if b < self.prices[0] {
+            if n == 1 || self.prices[0] <= 0.0 {
+                return None;
+            }
+            let x = self.knots[0] * b / self.prices[0];
+            return (x > 0.0).then_some(x);
+        }
+        if self.monotone {
+            // Prices are non-decreasing: the last affordable knot is found
+            // by binary search, then extended into the next segment. This
+            // reproduces the scan bit-for-bit (same predicate, same
+            // interpolation arithmetic).
+            let idx = self.prices.partition_point(|&p| p <= b);
+            debug_assert!(idx >= 1 && idx < n, "b in [prices[0], max_price)");
+            let (y0, y1) = (self.prices[idx - 1], self.prices[idx]);
+            let mut best = self.knots[idx - 1];
+            if b >= y0 && y1 > y0 {
+                let t = (b - y0) / (y1 - y0);
+                best = self.knots[idx - 1] + t * (self.knots[idx] - self.knots[idx - 1]);
+            }
+            return Some(best);
+        }
+        // Broken (non-monotone) curve: keep the exact scan semantics.
+        let mut best = self.knots[0];
+        for i in 0..n - 1 {
+            let (y0, y1) = (self.prices[i], self.prices[i + 1]);
+            if b >= y1 {
+                best = self.knots[i + 1];
+                continue;
+            }
+            if b >= y0 && y1 > y0 {
+                let t = (b - y0) / (y1 - y0);
+                best = self.knots[i] + t * (self.knots[i + 1] - self.knots[i]);
+            }
+            break;
+        }
+        Some(best)
+    }
+}
+
+/// Memoized φ-inversion state for one `(pricing, transform)` pair: the
+/// numbers needed to answer [`ErrorPricedView::price_for_error`] without a
+/// virtual `ncp_for_error` call or a segment scan.
+///
+/// For affine transforms (`E[ε] = base + slope·δ`,
+/// [`crate::error::ErrorTransform::affine_params`]) the inverse is one
+/// subtract-multiply; the saturation band `[ε(h*), E[ε(1/x_max)]]` — where
+/// the curve answers its maximum price — is precomputed so the common
+/// "buyer wants the most precise instance" query is a pure lookup.
+#[derive(Debug, Clone)]
+pub struct PhiMemo {
+    /// `(base, slope)` for affine transforms with positive slope.
+    affine: Option<(f64, f64)>,
+    sat_floor: f64,
+    sat_ceil: f64,
+    max_price: f64,
+}
+
+impl PhiMemo {
+    /// Precomputes inversion state for `transform` against `table`.
+    pub fn new(transform: &dyn crate::error::ErrorTransform, table: &PricingTable) -> Self {
+        let affine = transform.affine_params().filter(|&(_, s)| s > 0.0);
+        // The saturation shortcut is only sound for strictly increasing
+        // affine transforms: there `err ≤ E[ε(δ₀)]` implies `φ(err) ≤ δ₀`.
+        // Piecewise transforms (PAVA-pooled flat segments) resolve flat
+        // stretches to the buyer-optimal *largest* δ, which can escape the
+        // band, so they always go through `ncp_for_error`.
+        let (sat_floor, sat_ceil) = match affine {
+            Some(_) => {
+                let x_max = *table.knots().last().expect("non-empty");
+                (
+                    transform.expected_error(0.0),
+                    transform.expected_error(1.0 / x_max),
+                )
+            }
+            None => (f64::INFINITY, f64::NEG_INFINITY),
+        };
+        PhiMemo {
+            affine,
+            sat_floor,
+            sat_ceil,
+            max_price: table.max_price(),
+        }
+    }
+
+    /// The error-inverse `φ(err)`, using the cached affine parameters when
+    /// available (bit-identical to the transform's own inversion) and the
+    /// transform's virtual call otherwise.
+    pub fn ncp_for_error(
+        &self,
+        transform: &dyn crate::error::ErrorTransform,
+        err: f64,
+    ) -> Option<f64> {
+        match self.affine {
+            Some((base, slope)) => {
+                if !err.is_finite() || err < base - 1e-12 {
+                    return None;
+                }
+                Some(((err - base) / slope).max(0.0))
+            }
+            None => transform.ncp_for_error(err),
+        }
+    }
+
+    /// Memoized price for expected error `err` — the lookup form of
+    /// [`ErrorPricedView::price_for_error`].
+    pub fn price_for_error(
+        &self,
+        transform: &dyn crate::error::ErrorTransform,
+        table: &PricingTable,
+        err: f64,
+    ) -> Option<f64> {
+        // Saturation band: any error at or below the most precise grid
+        // point's error (but achievable) prices at the saturation value.
+        if err >= self.sat_floor && err <= self.sat_ceil {
+            return Some(self.max_price);
+        }
+        let ncp = self.ncp_for_error(transform, err)?;
+        if ncp <= 0.0 {
+            return Some(self.max_price);
+        }
+        Some(table.price_for_ncp(ncp))
+    }
+
+    /// `Some((base, slope))` when the affine fast path is active.
+    pub fn affine(&self) -> Option<(f64, f64)> {
+        self.affine
+    }
+}
+
+/// The compiled analogue of [`ErrorPricedView`]: owns the φ memo and
+/// answers error-unit price queries by table lookup.
+pub struct ErrorPricedTable<'a> {
+    table: &'a PricingTable,
+    transform: &'a dyn crate::error::ErrorTransform,
+    memo: PhiMemo,
+}
+
+impl<'a> ErrorPricedTable<'a> {
+    /// Builds the memoized view over a compiled table.
+    pub fn new(table: &'a PricingTable, transform: &'a dyn crate::error::ErrorTransform) -> Self {
+        let memo = PhiMemo::new(transform, table);
+        ErrorPricedTable {
+            table,
+            transform,
+            memo,
+        }
+    }
+
+    /// Memoized price of a release with expected error `err`; agrees with
+    /// [`ErrorPricedView::price_for_error`] to `1e-12`.
+    pub fn price_for_error(&self, err: f64) -> Option<f64> {
+        self.memo.price_for_error(self.transform, self.table, err)
     }
 }
 
@@ -366,5 +693,147 @@ mod tests {
         let p = PricingFunction::from_points(vec![1.0, 2.0, 3.0], vec![5.0, 5.0, 9.0]).unwrap();
         // Budget 5 should reach the far end of the flat segment (x = 2).
         assert!((p.max_precision_for_budget(5.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    /// The documented clamp semantics for out-of-domain queries: negative
+    /// and NaN precisions price at 0, +∞ saturates; negative/NaN budgets
+    /// buy nothing, an infinite budget buys unbounded precision.
+    #[test]
+    fn out_of_domain_queries_clamp_deterministically() {
+        let p = pf();
+        assert_eq!(p.price_at(-3.0), 0.0);
+        assert_eq!(p.price_at(f64::NAN), 0.0);
+        assert_eq!(p.price_at(f64::INFINITY), p.max_price());
+        // Infinitely noisy releases are free.
+        assert_eq!(p.price_for_ncp(f64::INFINITY), 0.0);
+        assert_eq!(p.max_precision_for_budget(-1.0), None);
+        assert_eq!(p.max_precision_for_budget(f64::NAN), None);
+        assert_eq!(
+            p.max_precision_for_budget(f64::INFINITY),
+            Some(f64::INFINITY)
+        );
+        // The compiled table clamps identically.
+        let t = p.compile();
+        assert_eq!(t.price_at(-3.0), 0.0);
+        assert_eq!(t.price_at(f64::NAN), 0.0);
+        assert_eq!(t.price_at(f64::INFINITY), p.max_price());
+        assert_eq!(t.max_precision_for_budget(f64::NAN), None);
+        assert_eq!(
+            t.max_precision_for_budget(f64::INFINITY),
+            Some(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NCP must be > 0")]
+    fn nan_ncp_price_panics() {
+        pf().price_for_ncp(f64::NAN);
+    }
+
+    #[test]
+    fn compiled_table_matches_scan_on_dense_probes() {
+        let p = pf();
+        let t = p.compile();
+        for i in 0..2000 {
+            let x = i as f64 * 0.004; // 0 .. 8, covering ray/interior/tail
+            let a = t.price_at(x);
+            let b = p.price_at(x);
+            assert!(
+                (a - b).abs() <= 1e-12 * b.abs().max(1.0),
+                "x={x}: {a} vs {b}"
+            );
+        }
+        assert_eq!(t.max_price(), p.max_price());
+        assert_eq!(t.price_for_ncp(0.5), p.price_for_ncp(0.5));
+    }
+
+    #[test]
+    fn compiled_table_budget_inversion_matches_scan() {
+        let curves = vec![
+            pf(),
+            PricingFunction::from_points(vec![1.0, 2.0, 3.0], vec![5.0, 5.0, 9.0]).unwrap(),
+            PricingFunction::constant(7.0),
+            // A broken (non-monotone) curve exercises the scan fallback.
+            PricingFunction::from_points(vec![1.0, 2.0, 3.0], vec![5.0, 3.0, 9.0]).unwrap(),
+        ];
+        for p in curves {
+            let t = p.compile();
+            for i in 0..300 {
+                let b = i as f64 * 0.05;
+                assert_eq!(
+                    t.max_precision_for_budget(b),
+                    p.max_precision_for_budget(b),
+                    "budget {b} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_curve_table_matches() {
+        let p = PricingFunction::constant(7.0);
+        let t = p.compile();
+        assert_eq!(t.price_at(0.0), 0.0);
+        assert_eq!(t.price_at(0.5), 7.0);
+        assert_eq!(t.price_at(50.0), 7.0);
+        assert_eq!(t.max_precision_for_budget(3.0), None);
+        assert_eq!(t.max_precision_for_budget(7.0), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn memoized_error_table_agrees_with_view() {
+        let p = pf();
+        let table = p.compile();
+        // Identity transform (non-affine path: no affine_params impl).
+        let t = SquareLossTransform;
+        let view = ErrorPricedView::new(&p, &t);
+        let memo = ErrorPricedTable::new(&table, &t);
+        for i in 0..400 {
+            let err = i as f64 * 0.02;
+            let a = memo.price_for_error(err);
+            let b = view.price_for_error(err);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert!((x - y).abs() <= 1e-12 * y.abs().max(1.0), "err={err}")
+                }
+                _ => panic!("achievability diverged at err={err}: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(memo.price_for_error(-1.0), None);
+        assert_eq!(memo.price_for_error(0.0), Some(p.max_price()));
+    }
+
+    #[test]
+    fn memoized_error_table_uses_affine_fast_path() {
+        let p = pf();
+        let table = p.compile();
+        let mut rng = mbp_randx::seeded_rng(5);
+        let ds = mbp_data::synth::simulated1(300, 3, 0.3, &mut rng);
+        let h = mbp_ml::train::ridge_closed_form(&ds, 0.0).unwrap();
+        let t = LinRegSquareTransform::new(&ds, &h);
+        let memo = PhiMemo::new(&t, &table);
+        assert!(memo.affine().is_some(), "LinReg transform is affine in δ");
+        let view = ErrorPricedView::new(&p, &t);
+        let et = ErrorPricedTable::new(&table, &t);
+        // Probe across unachievable, saturated, interior, and tail errors.
+        for i in 0..500 {
+            let err = t.base() * 0.5 + i as f64 * 0.01;
+            let a = et.price_for_error(err);
+            let b = view.price_for_error(err);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert!(
+                        (x - y).abs() <= 1e-12 * y.abs().max(1.0),
+                        "err={err}: {x} vs {y}"
+                    )
+                }
+                _ => panic!("achievability diverged at err={err}: {a:?} vs {b:?}"),
+            }
+        }
+        // The saturation band answers max_price without inversion.
+        let sat = t.expected_error(1.0 / p.grid().last().unwrap() * 0.5);
+        assert_eq!(et.price_for_error(sat), Some(p.max_price()));
     }
 }

@@ -3,7 +3,8 @@
 //! well-behavedness on random instances.
 
 use mbp_core::arbitrage::audit;
-use mbp_core::pricing::PricingFunction;
+use mbp_core::error::{DeltaMethodTransform, ErrorTransform, SquareLossTransform};
+use mbp_core::pricing::{ErrorPricedView, PhiMemo, PricingFunction};
 use mbp_core::revenue::{affordability, revenue, solve_bv_dp, Baseline, BuyerPoint};
 use mbp_optim::isotonic::is_relaxed_feasible;
 use proptest::prelude::*;
@@ -104,6 +105,86 @@ proptest! {
         // Audit it on the instance grid.
         let report = audit(&sol.pricing, &grid, 4, 1e-5);
         prop_assert!(report.is_clean(), "{:?}", report);
+    }
+
+    /// The compiled table answers every evaluation form within 1e-12
+    /// relative of the piecewise-linear scan on random (not necessarily
+    /// monotone) curves: interior points, knots, the origin ray, the
+    /// saturated tail, clamped non-positive inputs, NCP pricing, and
+    /// budget inversion.
+    #[test]
+    fn compiled_table_agrees_with_scan(
+        (grid, prices) in grid_and_prices(),
+        budget in 0.0..80.0f64,
+        delta in 0.01..20.0f64,
+    ) {
+        let pf = PricingFunction::from_points(grid.clone(), prices).unwrap();
+        let table = pf.compile();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * b.abs().max(1.0);
+        let x_last = *grid.last().unwrap();
+        let mut queries = vec![0.0, -1.0, f64::NAN, grid[0] * 0.5, x_last * 4.0];
+        for w in grid.windows(2) {
+            queries.push(0.5 * (w[0] + w[1]));
+        }
+        queries.extend(grid.iter().copied());
+        for x in queries {
+            prop_assert!(
+                close(table.price_at(x), pf.price_at(x)),
+                "price_at({x}): {} vs {}", table.price_at(x), pf.price_at(x)
+            );
+        }
+        prop_assert!(close(table.price_for_ncp(delta), pf.price_for_ncp(delta)));
+        match (table.max_precision_for_budget(budget), pf.max_precision_for_budget(budget)) {
+            (None, None) => {}
+            (Some(a), Some(d)) => prop_assert!(
+                a == d || close(a, d),
+                "budget inversion at {budget}: {a} vs {d}"
+            ),
+            (a, d) => prop_assert!(false, "budget inversion shape differs: {a:?} vs {d:?}"),
+        }
+    }
+
+    /// The memoized φ inverse round-trips the error transform and prices
+    /// errors exactly like the uncached [`ErrorPricedView`], for both the
+    /// affine fast path and the virtual-call fallback.
+    #[test]
+    fn phi_memo_matches_direct_inversion(
+        (grid, mut prices) in grid_and_prices(),
+        base in 0.0..5.0f64,
+        trace in 0.1..10.0f64,
+        delta in 0.0..8.0f64,
+    ) {
+        prices.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pf = PricingFunction::from_points(grid, prices).unwrap();
+        let table = pf.compile();
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * b.abs().max(1.0);
+        let affine = DeltaMethodTransform::new(base, trace, 3);
+        let identity = SquareLossTransform;
+        let transforms: [&dyn ErrorTransform; 2] = [&affine, &identity];
+        for t in transforms {
+            let memo = PhiMemo::new(t, &table);
+            let view = ErrorPricedView::new(&pf, t);
+            // φ round-trip: inverting the forward map recovers δ.
+            if let Some(d) = memo.ncp_for_error(t, t.expected_error(delta)) {
+                prop_assert!((d - delta).abs() <= 1e-9 * delta.max(1.0));
+            }
+            // Price-for-error agreement across the whole range, including
+            // below-base (unachievable), the saturation band, and the tail.
+            for err in [base - 1.0, base, base + 1e-13, t.expected_error(delta),
+                        t.expected_error(100.0), f64::INFINITY] {
+                match (memo.price_for_error(t, &table, err), view.price_for_error(err)) {
+                    (None, None) => {}
+                    (Some(a), Some(d)) => prop_assert!(
+                        close(a, d),
+                        "{}: price_for_error({err}): {a} vs {d}", t.name()
+                    ),
+                    (a, d) => prop_assert!(
+                        false,
+                        "{}: price_for_error({err}) shape differs: {a:?} vs {d:?}", t.name()
+                    ),
+                }
+            }
+        }
     }
 
     /// Every baseline yields a well-behaved (monotone + subadditive on the

@@ -227,6 +227,15 @@ impl Matrix {
     /// serial implementation.
     const GRAM_ROW_BAND: usize = 256;
 
+    /// Minimum per-band work (upper-triangle multiply-adds,
+    /// `GRAM_ROW_BAND · d·(d+1)/2`) for the parallel Gram path to pay for
+    /// its fork/join handoff. Tall-but-narrow matrices below this grain ran
+    /// *slower* in parallel (BENCH_parallel measured a 0.77× "speedup" at 2
+    /// threads on a `4096×48` input), so they now take the serial path
+    /// unconditionally: with the current band height this requires
+    /// `d ≥ 63`.
+    const GRAM_PAR_GRAIN: usize = 500_000;
+
     /// The Gram matrix `AᵀA` (symmetric positive semidefinite), computed
     /// without materializing `Aᵀ`.
     ///
@@ -234,14 +243,20 @@ impl Matrix {
     /// in parallel; partials are merged in band-index order, so the parallel
     /// result is bit-identical at every thread count ≥ 2 and differs from
     /// the serial sum only by the documented band-wise reassociation
-    /// (bounded by normal f64 summation error).
+    /// (bounded by normal f64 summation error). Inputs with fewer than two
+    /// bands, or too narrow to meet the per-band work grain
+    /// (`GRAM_PAR_GRAIN`), take the serial path.
     // The inner loop reads `row` at two indices (`j` and `k`); an iterator
     // would hide the upper-triangle structure.
     #[allow(clippy::needless_range_loop)]
     pub fn gram(&self) -> Matrix {
         let d = self.cols;
         let mut out = Matrix::zeros(d, d);
-        if self.rows > Self::GRAM_ROW_BAND && d > 0 && mbp_par::max_threads() > 1 {
+        let band_work = Self::GRAM_ROW_BAND * (d * (d + 1)) / 2;
+        if self.rows > Self::GRAM_ROW_BAND
+            && band_work >= Self::GRAM_PAR_GRAIN
+            && mbp_par::max_threads() > 1
+        {
             let _span = mbp_obs::span("mbp.linalg.gram.par");
             let partials = mbp_par::par_map_chunks(self.rows, Self::GRAM_ROW_BAND, |band| {
                 let mut acc = vec![0.0f64; d * d];
@@ -437,7 +452,9 @@ mod tests {
 
     #[test]
     fn parallel_gram_is_bit_identical_across_thread_counts() {
-        let a = tall(700, 12);
+        // 64 columns clears the work-grain threshold, so this exercises
+        // the banded parallel path.
+        let a = tall(700, 64);
         let g2 = mbp_par::with_threads(2, || a.gram());
         let g4 = mbp_par::with_threads(4, || a.gram());
         assert_eq!(g2.as_slice(), g4.as_slice());
@@ -446,12 +463,25 @@ mod tests {
 
     #[test]
     fn parallel_gram_matches_serial_within_reduction_tolerance() {
-        let a = tall(700, 12);
+        let a = tall(700, 64);
         let serial = mbp_par::with_threads(1, || a.gram());
         let par = mbp_par::with_threads(4, || a.gram());
         for (s, p) in serial.as_slice().iter().zip(par.as_slice()) {
             assert!((s - p).abs() <= 1e-9 * s.abs().max(1.0), "{s} vs {p}");
         }
+    }
+
+    /// Tall-but-narrow inputs fall below the parallel work grain: the
+    /// per-band handoff cost dominates at small `d`, so they must take the
+    /// serial path at every thread count — bit-identical, not merely close.
+    #[test]
+    fn narrow_gram_stays_serial_below_work_grain() {
+        let a = tall(700, 12);
+        let serial = mbp_par::with_threads(1, || a.gram());
+        let two = mbp_par::with_threads(2, || a.gram());
+        let four = mbp_par::with_threads(4, || a.gram());
+        assert_eq!(serial.as_slice(), two.as_slice());
+        assert_eq!(serial.as_slice(), four.as_slice());
     }
 
     #[test]

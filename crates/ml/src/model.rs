@@ -56,6 +56,12 @@ impl LinearModel {
         &self.weights
     }
 
+    /// Mutable access to the hypothesis vector, for noise mechanisms that
+    /// write the release `ĥ = h* + w` in place without reallocating.
+    pub fn weights_mut(&mut self) -> &mut Vector {
+        &mut self.weights
+    }
+
     /// Number of features `d`.
     pub fn dim(&self) -> usize {
         self.weights.len()

@@ -14,7 +14,8 @@
 
 use crate::loss::{LogisticLoss, Objective, SquaredLoss};
 use mbp_data::Dataset;
-use mbp_linalg::{solve_spd, Cholesky, Vector};
+use mbp_linalg::{Cholesky, Matrix, Vector};
+use std::collections::HashMap;
 
 /// Report returned by iterative trainers.
 #[derive(Debug, Clone)]
@@ -49,29 +50,87 @@ impl Default for TrainConfig {
     }
 }
 
+/// Cached normal-equations state for one dataset: the averaged Gram matrix
+/// `XᵀX/n`, the moment vector `Xᵀy/n`, and one Cholesky factor per ridge
+/// value seen so far.
+///
+/// Building the solver pays the `O(n·d²)` Gram pass exactly once; every
+/// subsequent [`RidgeSolver::solve`] for a *new* ridge is one `O(d³)`
+/// factorization of the cached Gram (never a refit from the data), and a
+/// *repeated* ridge is two `O(d²)` triangular solves against the cached
+/// factor. Results are bit-identical to [`ridge_closed_form`] — the same
+/// operations in the same order — so cached and uncached training are
+/// interchangeable in deterministic pipelines.
+pub struct RidgeSolver {
+    /// `XᵀX/n`, unridged.
+    gram: Matrix,
+    /// `Xᵀy/n`.
+    xty: Vector,
+    /// Cholesky factors of `XᵀX/n + μI`, keyed by the bits of μ.
+    factors: HashMap<u64, Cholesky>,
+}
+
+impl RidgeSolver {
+    /// Computes the Gram/moment state for `ds` (the one-time cost).
+    pub fn new(ds: &Dataset) -> Result<Self, mbp_linalg::LinalgError> {
+        let _span = mbp_obs::span("mbp.ml.ridge.gram");
+        let n = ds.n().max(1) as f64;
+        let gram = ds.x.gram();
+        // Scale to the averaged objective so mu means the same thing as in
+        // `SquaredLoss::ridge`.
+        let d = gram.rows();
+        let mut scaled = Matrix::zeros(d, d);
+        for i in 0..d {
+            for j in 0..d {
+                scaled.set(i, j, gram.get(i, j) / n);
+            }
+        }
+        let xty = ds.x.matvec_t(&ds.y)?.scale(1.0 / n);
+        Ok(RidgeSolver {
+            gram: scaled,
+            xty,
+            factors: HashMap::new(),
+        })
+    }
+
+    /// `true` when a factor for ridge `mu` is already cached (the next
+    /// [`RidgeSolver::solve`] will skip the factorization).
+    pub fn has_factor(&self, mu: f64) -> bool {
+        self.factors.contains_key(&mu.to_bits())
+    }
+
+    /// Number of distinct ridge factors cached.
+    pub fn factor_count(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Solves `(XᵀX/n + μI) h = Xᵀy/n`, factoring at most once per μ.
+    pub fn solve(&mut self, mu: f64) -> Result<Vector, mbp_linalg::LinalgError> {
+        assert!(mu >= 0.0 && mu.is_finite(), "mu must be >= 0, got {mu}");
+        let factor = match self.factors.entry(mu.to_bits()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let mut ridged = self.gram.clone();
+                ridged.add_diagonal(mu)?;
+                e.insert(Cholesky::factor(&ridged)?)
+            }
+        };
+        factor.solve(&self.xty)
+    }
+}
+
 /// Exact ridge regression: solves `(XᵀX/n + μI) h = Xᵀy/n`.
 ///
 /// With `mu = 0` this is ordinary least squares and requires `XᵀX` to be
 /// numerically positive definite (any duplicate/constant column will surface
 /// as [`mbp_linalg::LinalgError::NotPositiveDefinite`]).
+///
+/// One-shot convenience over [`RidgeSolver`]; callers solving the same
+/// dataset at several ridge values should hold a solver instead.
 pub fn ridge_closed_form(ds: &Dataset, mu: f64) -> Result<Vector, mbp_linalg::LinalgError> {
     assert!(mu >= 0.0 && mu.is_finite(), "mu must be >= 0, got {mu}");
     let _span = mbp_obs::span("mbp.ml.ridge.train");
-    let n = ds.n().max(1) as f64;
-    let mut gram = ds.x.gram();
-    // Scale to the averaged objective so mu means the same thing as in
-    // `SquaredLoss::ridge`.
-    let d = gram.rows();
-    let mut scaled = mbp_linalg::Matrix::zeros(d, d);
-    for i in 0..d {
-        for j in 0..d {
-            scaled.set(i, j, gram.get(i, j) / n);
-        }
-    }
-    gram = scaled;
-    gram.add_diagonal(mu)?;
-    let xty = ds.x.matvec_t(&ds.y)?.scale(1.0 / n);
-    solve_spd(&gram, &xty)
+    RidgeSolver::new(ds)?.solve(mu)
 }
 
 /// Backtracking-line-search gradient descent on any [`Objective`].
@@ -207,6 +266,26 @@ mod tests {
         // Residual should be ~0 since targets are exactly linear.
         let loss = SquaredLoss::plain().value(&w, &ds);
         assert!(loss < 1e-15, "loss {loss}");
+    }
+
+    /// The cached solver is bit-identical to the one-shot closed form and
+    /// factors each ridge exactly once.
+    #[test]
+    fn ridge_solver_caches_factors_and_matches_closed_form() {
+        let mut rng = seeded_rng(48);
+        let ds = synth::simulated1(350, 5, 0.4, &mut rng);
+        let mut solver = RidgeSolver::new(&ds).unwrap();
+        assert_eq!(solver.factor_count(), 0);
+        for &mu in &[0.0, 0.1, 1.0] {
+            assert!(!solver.has_factor(mu));
+            let cached = solver.solve(mu).unwrap();
+            assert!(solver.has_factor(mu));
+            let oneshot = ridge_closed_form(&ds, mu).unwrap();
+            assert_eq!(cached, oneshot, "cached vs one-shot at mu={mu}");
+            // Re-solving reuses the factor.
+            assert_eq!(solver.solve(mu).unwrap(), cached);
+        }
+        assert_eq!(solver.factor_count(), 3);
     }
 
     #[test]

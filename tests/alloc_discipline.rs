@@ -1,0 +1,135 @@
+//! Allocation discipline for the quote-serving fast path.
+//!
+//! The steady-state buy path — `Broker::buy_listed_into` with a reused
+//! [`Sale`] buffer, a pre-reserved ledger, and observability disabled —
+//! must perform **zero heap allocations** per purchase: the compiled
+//! pricing table answers price/NCP resolution by lookup, the mechanism
+//! perturbs into the caller's buffer, and the ledger entry is plain `Copy`
+//! data pushed into reserved capacity.
+//!
+//! A counting `#[global_allocator]` (wrapping `System`) verifies this
+//! directly. The counter is toggled around the measured window so test
+//! harness bookkeeping doesn't pollute the count. CI runs this test in the
+//! `MBP_THREADS=1` job; it is also self-contained in its own test binary,
+//! so no sibling test can allocate concurrently during the window.
+
+use mbp_core::error::SquareLossTransform;
+use mbp_core::market::{Broker, PurchaseRequest, Sale};
+use mbp_core::pricing::PricingFunction;
+use mbp_ml::ModelKind;
+use mbp_randx::seeded_rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Counts every `alloc`/`realloc` while armed; delegates to [`System`].
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the allocation counter armed and returns how many
+/// heap allocations it performed.
+fn count_allocations(f: impl FnOnce()) -> usize {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_buy_path_does_not_allocate() {
+    // Observability must stay disabled: enabled metrics intern names and
+    // would allocate. The registry is inert by default; this is just a
+    // guard against future test-harness changes.
+    assert!(
+        !mbp_obs::is_enabled(),
+        "obs registry must be disabled for the allocation test"
+    );
+
+    let mut rng = seeded_rng(0xA110C);
+    let data = mbp_data::synth::simulated1(400, 5, 0.5, &mut rng).split(0.75, &mut rng);
+    let mut broker = Broker::new(data);
+    broker
+        .support(ModelKind::LinearRegression, 1e-6)
+        .expect("training failed");
+    let grid: Vec<f64> = (1..=64).map(|i| i as f64 * 0.5).collect();
+    let prices: Vec<f64> = grid.iter().map(|x| 8.0 * x.sqrt()).collect();
+    let pricing = PricingFunction::from_points(grid, prices).expect("arbitrage-free");
+    broker
+        .publish(
+            ModelKind::LinearRegression,
+            pricing,
+            Box::new(SquareLossTransform),
+        )
+        .expect("listing accepted");
+
+    // All three request kinds, all satisfiable, cycled deterministically.
+    let request = |i: usize| match i % 3 {
+        0 => PurchaseRequest::AtNcp(0.1 + (i % 29) as f64 * 0.05),
+        1 => PurchaseRequest::ErrorBudget(0.5 + (i % 17) as f64 * 0.1),
+        _ => PurchaseRequest::PriceBudget(5.0 + (i % 40) as f64),
+    };
+
+    const WARMUP: usize = 8;
+    const MEASURED: usize = 256;
+
+    // Pre-size everything the steady state reuses: the ledger and the
+    // Sale's model buffer (filled by the warm-up buys).
+    broker.reserve_ledger(WARMUP + MEASURED);
+    let mut rng = seeded_rng(0x5e11);
+    let mut sale = Sale {
+        model: broker
+            .optimal_model(ModelKind::LinearRegression)
+            .expect("supported")
+            .clone(),
+        price: 0.0,
+        ncp: 0.0,
+        expected_error: 0.0,
+    };
+    for i in 0..WARMUP {
+        broker
+            .buy_listed_into(ModelKind::LinearRegression, request(i), &mut rng, &mut sale)
+            .expect("warm-up buy failed");
+    }
+
+    let allocations = count_allocations(|| {
+        for i in WARMUP..WARMUP + MEASURED {
+            broker
+                .buy_listed_into(ModelKind::LinearRegression, request(i), &mut rng, &mut sale)
+                .expect("steady-state buy failed");
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "steady-state buy_listed_into performed {allocations} heap allocations over {MEASURED} buys"
+    );
+
+    // Sanity: the buys really happened and produced sane quotes.
+    assert_eq!(broker.ledger().len(), WARMUP + MEASURED);
+    assert!(sale.price > 0.0 && sale.ncp > 0.0);
+    assert!(broker.total_revenue() > 0.0);
+}
