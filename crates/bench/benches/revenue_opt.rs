@@ -23,6 +23,7 @@ fn population(n: usize) -> Vec<BuyerPoint> {
             width: 0.25,
         }),
     )
+    .expect("bench grid is valid")
 }
 
 fn bench_dp_vs_exact(c: &mut Criterion) {

@@ -329,6 +329,45 @@ fn main() {
         }
     });
 
+    // Verification baseline: arbitrage attack, differential oracle, and
+    // schedule-exploration throughput from mbp-testkit. Writes
+    // BENCH_testkit.json (overridable with MBP_TESTKIT_OUT; trial count
+    // with MBP_ATTACK_TRIALS).
+    run_phase(&mut phases, "testkit-baseline", || {
+        let trials = std::env::var("MBP_ATTACK_TRIALS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .filter(|&t| t >= 1_000)
+            .unwrap_or(20_000);
+        let baseline = mbp_bench::attackbench::run(trials);
+        print_table(
+            &format!(
+                "Verification baseline ({} attack trials, clean: {}, deterministic: {})",
+                baseline.trials, baseline.clean, baseline.deterministic
+            ),
+            &["phase", "units", "units/sec", "findings", "deterministic"],
+            &baseline
+                .phases
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.name.to_string(),
+                        p.units.to_string(),
+                        fmt(p.units_per_sec),
+                        p.findings.to_string(),
+                        p.deterministic.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let out =
+            std::env::var("MBP_TESTKIT_OUT").unwrap_or_else(|_| "BENCH_testkit.json".to_string());
+        match std::fs::write(&out, baseline.to_json()) {
+            Ok(()) => println!("verification baseline written to {out}"),
+            Err(e) => eprintln!("could not write verification baseline {out}: {e}"),
+        }
+    });
+
     // Per-phase wall times and metric volume.
     print_table(
         "Observability: phase timings",

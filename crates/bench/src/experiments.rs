@@ -240,7 +240,8 @@ pub fn fig7(_cfg: &Config) -> Vec<RevenueScenario> {
     mbp_par::par_map(panels.len(), 1, |i| {
         let (label, shape) = panels[i];
         let value = ValueCurve::new(shape, 2.0, 100.0);
-        let buyers = mbp_core::market::curves::buyer_points(&g, &value, &demand);
+        let buyers = mbp_core::market::curves::buyer_points(&g, &value, &demand)
+            .expect("experiment grid is valid");
         run_scenario(format!("Fig7 {label}"), buyers)
     })
 }
@@ -264,7 +265,8 @@ pub fn fig8(_cfg: &Config) -> Vec<RevenueScenario> {
     mbp_par::par_map(panels.len(), 1, |i| {
         let (label, shape) = panels[i];
         let demand = DemandCurve::new(shape);
-        let buyers = mbp_core::market::curves::buyer_points(&g, &value, &demand);
+        let buyers = mbp_core::market::curves::buyer_points(&g, &value, &demand)
+            .expect("experiment grid is valid");
         run_scenario(format!("Fig8 {label}"), buyers)
     })
 }
@@ -316,7 +318,8 @@ fn runtime_sweep(
     let mut rows = Vec::new();
     for n in 2..=max_n {
         let g = grid(20.0, 100.0, n);
-        let buyers = mbp_core::market::curves::buyer_points(&g, &value, &demand);
+        let buyers = mbp_core::market::curves::buyer_points(&g, &value, &demand)
+            .expect("experiment grid is valid");
         // MBP: the O(n²) DP.
         let (mbp, t_mbp) = time(|| solve_bv_dp(&buyers));
         rows.push(RuntimeRow {
@@ -425,7 +428,8 @@ pub fn fairness_sweep(_cfg: &Config) -> Vec<FairnessRow> {
             center: 0.6,
             width: 0.35,
         }),
-    );
+    )
+    .expect("experiment grid is valid");
     let mut rows = Vec::new();
     for &lambda in &[0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0] {
         let sol = mbp_core::revenue::solve_bv_dp_fair(&buyers, lambda);
@@ -595,7 +599,8 @@ pub fn adaptive_experiment(cfg: &Config) -> (Vec<AdaptiveRow>, f64) {
         &g,
         &ValueCurve::new(ValueShape::Concave { power: 2.0 }, 10.0, 100.0),
         &DemandCurve::new(DemandShape::Uniform),
-    );
+    )
+    .expect("experiment grid is valid");
     let bad_guess: Vec<f64> = truth.iter().map(|p| p.valuation / 3.0).collect();
     let mut rng = seeded_rng(cfg.seed ^ 0xada0);
     let reports = run_adaptive_market(

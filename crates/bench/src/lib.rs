@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attackbench;
 pub mod experiments;
 pub mod parbench;
 pub mod report;

@@ -138,7 +138,8 @@ pub fn run(reps: usize) -> ParallelBaseline {
         center: 0.5,
         width: 0.3,
     });
-    let seed_buyers = mbp_core::market::curves::buyer_points(&g, &value, &demand);
+    let seed_buyers =
+        mbp_core::market::curves::buyer_points(&g, &value, &demand).expect("bench grid is valid");
     let pricing = solve_bv_dp(&seed_buyers).pricing;
     // A large synthetic population on the same grid for the welfare phase.
     let population: Vec<BuyerPoint> = (0..150_000)

@@ -67,6 +67,11 @@ COMMANDS:
             [--grid lo,hi,n] [--value SHAPE] [--vmin V] [--vmax V]
             [--demand SHAPE] [--lambda L] [--out PRICES_TSV]
   audit     --prices F            audit a pricing curve (TSV: x<TAB>price)
+  attack    --prices F            fuzz a pricing curve for arbitrage
+            [--seed S] [--trials N] (monotonicity, subadditivity, budget
+            [--bundle K]            round-trips) and cross-check all
+            [--corpus F]            evaluators differentially; replays and
+                                    extends a regression corpus file
   sell      --csv F --model M     train, price, and release one noisy
             --budget P [--grid lo,hi,n] [--seed S] [--out MODEL_TSV]
                                   instance within budget
@@ -162,6 +167,7 @@ fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("train") => cmd_train(args),
         Some("price") => cmd_price(args),
         Some("audit") => cmd_audit(args),
+        Some("attack") => cmd_attack(args),
         Some("sell") => cmd_sell(args),
         Some("simulate") => cmd_simulate(args),
         Some("predict") => cmd_predict(args),
@@ -309,7 +315,8 @@ fn derive_pricing(args: &Args) -> Result<(Vec<f64>, Vec<BuyerPoint>, PricingFunc
     let grid = args.get_grid("grid", (10.0, 100.0, 10))?;
     let value = parse_value_curve(args)?;
     let demand = parse_demand_curve(args)?;
-    let buyers = mbp_core::market::curves::buyer_points(&grid, &value, &demand);
+    let buyers = mbp_core::market::curves::buyer_points(&grid, &value, &demand)
+        .map_err(|e| CliError::Data(e.to_string()))?;
     let lambda = args.get_f64("lambda", 0.0)?;
     let sol = solve_bv_dp_fair(&buyers, lambda);
     Ok((grid, buyers, sol.pricing))
@@ -362,8 +369,9 @@ fn cmd_price(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_audit(args: &Args) -> Result<String, CliError> {
-    let path = args.require("prices")?;
+/// Loads a `x<TAB>price` TSV (as written by `price --out`) into a
+/// validated pricing function. Shared by `audit` and `attack`.
+fn load_prices_tsv(path: &str) -> Result<PricingFunction, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Data(format!("reading {path}: {e}")))?;
     let mut grid = Vec::new();
@@ -389,9 +397,12 @@ fn cmd_audit(args: &Args) -> Result<String, CliError> {
         grid.push(x);
         prices.push(p);
     }
-    let pf = PricingFunction::from_points(grid.clone(), prices)
-        .map_err(|e| CliError::Data(e.to_string()))?;
-    let report = audit(&pf, &grid, 10, 1e-6);
+    PricingFunction::from_points(grid, prices).map_err(|e| CliError::Data(e.to_string()))
+}
+
+fn cmd_audit(args: &Args) -> Result<String, CliError> {
+    let pf = load_prices_tsv(args.require("prices")?)?;
+    let report = audit(&pf, pf.grid(), 10, 1e-6);
     let mut out = String::new();
     writeln!(
         out,
@@ -423,6 +434,84 @@ fn cmd_audit(args: &Args) -> Result<String, CliError> {
         } else {
             "ARBITRAGE"
         }
+    )
+    .unwrap();
+    Ok(out)
+}
+
+fn cmd_attack(args: &Args) -> Result<String, CliError> {
+    use mbp_testkit::{attack_curve, check_pricing, AttackConfig, Case, Corpus, OracleConfig};
+
+    let pf = load_prices_tsv(args.require("prices")?)?;
+    let seed = args.get_u64("seed", 42)?;
+    let trials = args.get_u64("trials", 20_000)?;
+    let bundle = args.get_usize("bundle", 5)?;
+    let cfg = AttackConfig {
+        seed,
+        trials,
+        max_bundle: bundle,
+        ..AttackConfig::default()
+    };
+    let mut out = String::new();
+
+    // Regression corpus replays before randomized search.
+    let corpus_path = args.get("corpus").map(std::path::PathBuf::from);
+    let mut corpus = match &corpus_path {
+        Some(p) => Corpus::load(p).map_err(|e| CliError::Data(format!("corpus: {e}")))?,
+        None => Corpus::default(),
+    };
+    let regressions = corpus.replay(&pf, cfg.tol);
+    writeln!(out, "corpus_cases\t{}", corpus.cases().len()).unwrap();
+    writeln!(out, "corpus_regressions\t{}", regressions.len()).unwrap();
+    for v in &regressions {
+        writeln!(out, "  {v}").unwrap();
+    }
+
+    let report = attack_curve(&pf, &cfg);
+    writeln!(out, "seed\t{seed}").unwrap();
+    writeln!(out, "trials\t{}", report.trials).unwrap();
+    writeln!(out, "checks\t{}", report.checks).unwrap();
+    writeln!(out, "violations\t{}", report.violations.len()).unwrap();
+    for c in &report.violations {
+        writeln!(out, "  trial {}: {}", c.trial, c.violation).unwrap();
+    }
+
+    let oracle = check_pricing(
+        &pf,
+        &OracleConfig {
+            seed,
+            ..OracleConfig::default()
+        },
+    );
+    writeln!(out, "oracle_comparisons\t{}", oracle.comparisons).unwrap();
+    writeln!(out, "oracle_max_divergence\t{:.3e}", oracle.max_divergence).unwrap();
+    for d in &oracle.divergences {
+        writeln!(out, "  {d}").unwrap();
+    }
+
+    // Persist fresh counterexamples so the defect can never silently return.
+    if let Some(path) = &corpus_path {
+        let mut added = 0;
+        for c in &report.violations {
+            if let Some(case) = Case::from_violation(&c.violation) {
+                if corpus.add(case) {
+                    added += 1;
+                }
+            }
+        }
+        if added > 0 {
+            corpus
+                .save(path)
+                .map_err(|e| CliError::Data(format!("saving corpus: {e}")))?;
+        }
+        writeln!(out, "corpus_added\t{added}").unwrap();
+    }
+
+    let clean = report.is_clean() && regressions.is_empty() && oracle.is_clean();
+    writeln!(
+        out,
+        "verdict\t{}",
+        if clean { "CLEAN" } else { "EXPLOITABLE" }
     )
     .unwrap();
     Ok(out)
@@ -763,6 +852,71 @@ mod tests {
         std::fs::write(&path, text).unwrap();
         let out = run(&argv(&format!("audit --prices {}", path.display()))).unwrap();
         assert!(out.contains("verdict\tARBITRAGE"), "{out}");
+    }
+
+    #[test]
+    fn attack_breaks_convex_prices_and_clears_concave_ones() {
+        let dir = std::env::temp_dir().join("mbp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Convex (superlinear) prices: bundling beats the list price.
+        let bad = dir.join("attack-bad.tsv");
+        let mut text = String::from("# x price\n");
+        for i in 1..=8 {
+            text.push_str(&format!("{i} {}\n", i * i));
+        }
+        std::fs::write(&bad, text).unwrap();
+        let out = run(&argv(&format!(
+            "attack --prices {} --seed 3 --trials 2000",
+            bad.display()
+        )))
+        .unwrap();
+        assert!(out.contains("verdict\tEXPLOITABLE"), "{out}");
+        assert!(out.contains("violations\t"), "{out}");
+        // Concave-through-origin prices survive the same search.
+        let good = dir.join("attack-good.tsv");
+        let mut text = String::from("# x price\n");
+        for i in 1..=8 {
+            text.push_str(&format!("{i} {}\n", 10.0 * (i as f64).sqrt()));
+        }
+        std::fs::write(&good, text).unwrap();
+        let out = run(&argv(&format!(
+            "attack --prices {} --seed 3 --trials 2000",
+            good.display()
+        )))
+        .unwrap();
+        assert!(out.contains("verdict\tCLEAN"), "{out}");
+        assert!(out.contains("oracle_comparisons\t"), "{out}");
+    }
+
+    #[test]
+    fn attack_persists_counterexamples_to_a_corpus() {
+        let dir = std::env::temp_dir().join("mbp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("attack-corpus-bad.tsv");
+        let mut text = String::from("# x price\n");
+        for i in 1..=6 {
+            text.push_str(&format!("{i} {}\n", i * i * 2));
+        }
+        std::fs::write(&bad, text).unwrap();
+        let corpus = dir.join("attack-corpus.txt");
+        std::fs::remove_file(&corpus).ok();
+        let out = run(&argv(&format!(
+            "attack --prices {} --seed 5 --trials 2000 --corpus {}",
+            bad.display(),
+            corpus.display()
+        )))
+        .unwrap();
+        assert!(out.contains("verdict\tEXPLOITABLE"), "{out}");
+        assert!(corpus.exists(), "corpus file should be written");
+        // Re-running replays the persisted cases as regressions.
+        let out = run(&argv(&format!(
+            "attack --prices {} --seed 5 --trials 100 --corpus {}",
+            bad.display(),
+            corpus.display()
+        )))
+        .unwrap();
+        assert!(!out.contains("corpus_regressions\t0"), "{out}");
+        std::fs::remove_file(&corpus).ok();
     }
 
     #[test]

@@ -73,12 +73,20 @@ pub struct Seller {
 
 impl Seller {
     /// Creates a seller listing.
+    ///
+    /// # Panics
+    /// Panics when `grid` is empty or not strictly ascending — a listing
+    /// with no sampleable market grid is a programming error, caught at
+    /// construction rather than deep inside curve sampling.
     pub fn new(
         data: TrainTest,
         grid: Vec<f64>,
         value_curve: ValueCurve,
         demand_curve: DemandCurve,
     ) -> Self {
+        if let Err(e) = super::curves::validate_grid(&grid) {
+            panic!("invalid seller grid: {e}");
+        }
         Seller {
             data,
             grid,
@@ -90,6 +98,7 @@ impl Seller {
     /// The buyer population implied by the research curves.
     pub fn buyer_population(&self) -> Vec<BuyerPoint> {
         buyer_points(&self.grid, &self.value_curve, &self.demand_curve)
+            .expect("seller grid validated at construction")
     }
 }
 

@@ -8,6 +8,33 @@
 //! families covering all of them.
 
 use crate::revenue::BuyerPoint;
+use std::fmt;
+
+/// Typed error for curve sampling over an invalid grid.
+///
+/// Historically `sample` accepted an empty knot vector and panicked deep
+/// inside the normalization arithmetic; callers now get a recoverable
+/// error instead, with the panicking path reserved for APIs that validate
+/// their grid at construction time (e.g. `Seller::new`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveError {
+    /// The knot vector is empty — there is nothing to sample.
+    EmptyGrid,
+    /// The knot vector is not strictly ascending, so normalized positions
+    /// would be ill-defined.
+    NonAscendingGrid,
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::EmptyGrid => write!(f, "curve grid is empty"),
+            CurveError::NonAscendingGrid => write!(f, "curve grid must be strictly ascending"),
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}
 
 /// Shape of a buyer value curve over the inverse-NCP axis.
 ///
@@ -88,7 +115,10 @@ impl ValueCurve {
     }
 
     /// Samples the curve on a grid of inverse-NCP points.
-    pub fn sample(&self, grid: &[f64]) -> Vec<f64> {
+    ///
+    /// Returns [`CurveError`] when the grid is empty or not strictly
+    /// ascending.
+    pub fn sample(&self, grid: &[f64]) -> Result<Vec<f64>, CurveError> {
         sample_unit(grid, |t| self.value_at_unit(t))
     }
 }
@@ -162,25 +192,31 @@ impl DemandCurve {
 
     /// Samples the curve on a grid, normalized to total mass 1.
     ///
-    /// # Panics
-    /// Panics on an empty grid.
-    pub fn sample(&self, grid: &[f64]) -> Vec<f64> {
-        assert!(!grid.is_empty(), "grid is empty");
-        let raw = sample_unit(grid, |t| self.mass_at_unit(t));
+    /// Returns [`CurveError`] when the grid is empty or not strictly
+    /// ascending.
+    pub fn sample(&self, grid: &[f64]) -> Result<Vec<f64>, CurveError> {
+        let raw = sample_unit(grid, |t| self.mass_at_unit(t))?;
         let total: f64 = raw.iter().sum();
-        raw.into_iter().map(|m| m / total).collect()
+        Ok(raw.into_iter().map(|m| m / total).collect())
     }
 }
 
-fn sample_unit(grid: &[f64], f: impl Fn(f64) -> f64) -> Vec<f64> {
-    assert!(!grid.is_empty(), "grid is empty");
-    assert!(
-        grid.windows(2).all(|w| w[0] < w[1]),
-        "grid must be strictly ascending"
-    );
+fn sample_unit(grid: &[f64], f: impl Fn(f64) -> f64) -> Result<Vec<f64>, CurveError> {
+    validate_grid(grid)?;
     let (lo, hi) = (grid[0], grid[grid.len() - 1]);
     let span = (hi - lo).max(f64::MIN_POSITIVE);
-    grid.iter().map(|&x| f((x - lo) / span)).collect()
+    Ok(grid.iter().map(|&x| f((x - lo) / span)).collect())
+}
+
+/// Checks a sampling grid: non-empty and strictly ascending.
+pub(crate) fn validate_grid(grid: &[f64]) -> Result<(), CurveError> {
+    if grid.is_empty() {
+        return Err(CurveError::EmptyGrid);
+    }
+    if !grid.windows(2).all(|w| w[0] < w[1]) {
+        return Err(CurveError::NonAscendingGrid);
+    }
+    Ok(())
 }
 
 /// An evenly spaced inverse-NCP grid, e.g. `grid(20.0, 100.0, 9)` gives the
@@ -197,14 +233,22 @@ pub fn grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 
 /// Combines a grid with value and demand curves into the buyer population
 /// the revenue optimizers consume.
-pub fn buyer_points(grid: &[f64], value: &ValueCurve, demand: &DemandCurve) -> Vec<BuyerPoint> {
-    let v = value.sample(grid);
-    let b = demand.sample(grid);
-    grid.iter()
+///
+/// Returns [`CurveError`] when the grid is empty or not strictly
+/// ascending.
+pub fn buyer_points(
+    grid: &[f64],
+    value: &ValueCurve,
+    demand: &DemandCurve,
+) -> Result<Vec<BuyerPoint>, CurveError> {
+    let v = value.sample(grid)?;
+    let b = demand.sample(grid)?;
+    Ok(grid
+        .iter()
         .zip(v)
         .zip(b)
         .map(|((&a, vj), bj)| BuyerPoint::new(a, vj, bj))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -231,7 +275,7 @@ mod tests {
         let g = grid(20.0, 100.0, 17);
         for shape in shapes {
             let curve = ValueCurve::new(shape, 0.0, 100.0);
-            let v = curve.sample(&g);
+            let v = curve.sample(&g).unwrap();
             assert!((v[0] - 0.0).abs() < 1e-9, "{shape:?} start {}", v[0]);
             assert!((v[16] - 100.0).abs() < 1e-9, "{shape:?} end {}", v[16]);
             for w in v.windows(2) {
@@ -243,9 +287,15 @@ mod tests {
     #[test]
     fn convex_below_linear_below_concave() {
         let g = grid(1.0, 2.0, 11);
-        let lin = ValueCurve::new(ValueShape::Linear, 0.0, 1.0).sample(&g);
-        let cvx = ValueCurve::new(ValueShape::Convex { power: 3.0 }, 0.0, 1.0).sample(&g);
-        let ccv = ValueCurve::new(ValueShape::Concave { power: 3.0 }, 0.0, 1.0).sample(&g);
+        let lin = ValueCurve::new(ValueShape::Linear, 0.0, 1.0)
+            .sample(&g)
+            .unwrap();
+        let cvx = ValueCurve::new(ValueShape::Convex { power: 3.0 }, 0.0, 1.0)
+            .sample(&g)
+            .unwrap();
+        let ccv = ValueCurve::new(ValueShape::Concave { power: 3.0 }, 0.0, 1.0)
+            .sample(&g)
+            .unwrap();
         for i in 1..10 {
             assert!(cvx[i] < lin[i]);
             assert!(ccv[i] > lin[i]);
@@ -265,7 +315,7 @@ mod tests {
             DemandShape::Increasing,
             DemandShape::Decreasing,
         ] {
-            let b = DemandCurve::new(shape).sample(&g);
+            let b = DemandCurve::new(shape).sample(&g).unwrap();
             let total: f64 = b.iter().sum();
             assert!((total - 1.0).abs() < 1e-12, "{shape:?}");
             assert!(b.iter().all(|&m| m > 0.0), "{shape:?}");
@@ -279,7 +329,8 @@ mod tests {
             center: 0.5,
             width: 0.15,
         })
-        .sample(&g);
+        .sample(&g)
+        .unwrap();
         let mid = b[4];
         assert!(mid > b[0] && mid > b[8]);
     }
@@ -287,7 +338,9 @@ mod tests {
     #[test]
     fn bimodal_demand_dips_in_the_middle() {
         let g = grid(20.0, 100.0, 9);
-        let b = DemandCurve::new(DemandShape::Bimodal { width: 0.15 }).sample(&g);
+        let b = DemandCurve::new(DemandShape::Bimodal { width: 0.15 })
+            .sample(&g)
+            .unwrap();
         assert!(b[4] < b[0] && b[4] < b[8]);
     }
 
@@ -298,7 +351,8 @@ mod tests {
             &g,
             &ValueCurve::new(ValueShape::Linear, 10.0, 100.0),
             &DemandCurve::new(DemandShape::Uniform),
-        );
+        )
+        .unwrap();
         assert_eq!(pts.len(), 5);
         assert_eq!(pts[0].a, 20.0);
         assert!((pts[0].valuation - 10.0).abs() < 1e-9);
@@ -309,5 +363,37 @@ mod tests {
     #[should_panic(expected = "v_min <= v_max")]
     fn value_curve_rejects_inverted_range() {
         ValueCurve::new(ValueShape::Linear, 5.0, 1.0);
+    }
+
+    /// Regression: an empty knot vector used to panic inside the
+    /// normalization arithmetic; it is now a typed, recoverable error on
+    /// every sampling entry point.
+    #[test]
+    fn empty_grid_is_a_typed_error_not_a_panic() {
+        let value = ValueCurve::new(ValueShape::Linear, 0.0, 1.0);
+        let demand = DemandCurve::new(DemandShape::Uniform);
+        assert_eq!(value.sample(&[]), Err(CurveError::EmptyGrid));
+        assert_eq!(demand.sample(&[]), Err(CurveError::EmptyGrid));
+        assert_eq!(
+            buyer_points(&[], &value, &demand),
+            Err(CurveError::EmptyGrid)
+        );
+        assert_eq!(CurveError::EmptyGrid.to_string(), "curve grid is empty");
+    }
+
+    #[test]
+    fn non_ascending_grid_is_a_typed_error() {
+        let value = ValueCurve::new(ValueShape::Linear, 0.0, 1.0);
+        let demand = DemandCurve::new(DemandShape::Uniform);
+        for bad in [&[2.0, 1.0][..], &[1.0, 1.0][..]] {
+            assert_eq!(value.sample(bad), Err(CurveError::NonAscendingGrid));
+            assert_eq!(demand.sample(bad), Err(CurveError::NonAscendingGrid));
+            assert_eq!(
+                buyer_points(bad, &value, &demand),
+                Err(CurveError::NonAscendingGrid)
+            );
+        }
+        // A single knot is degenerate but well-defined (normalizes to t=0).
+        assert_eq!(value.sample(&[3.0]), Ok(vec![0.0]));
     }
 }

@@ -217,6 +217,22 @@ impl PricingFunction {
     pub fn compile(&self) -> PricingTable {
         PricingTable::from_function(self)
     }
+
+    /// Test-only sabotage hook: returns a copy of this curve with a
+    /// deliberately non-subadditive knot appended (price quadruples while
+    /// precision only doubles, so `p̄(2x) > 2·p̄(x)` at the old tail).
+    /// Exists so the `mbp-testkit` attack engine can prove it detects a
+    /// seeded arbitrage defect; never compiled into the library proper.
+    #[cfg(test)]
+    pub(crate) fn with_sabotaged_knot(&self) -> PricingFunction {
+        let mut grid = self.grid.clone();
+        let mut prices = self.prices.clone();
+        let x_max = *grid.last().expect("validated curves are non-empty");
+        let p_max = *prices.last().expect("validated curves are non-empty");
+        grid.push(2.0 * x_max);
+        prices.push(4.0 * p_max.max(1.0));
+        PricingFunction::from_points(grid, prices).expect("sabotaged curve still has valid shape")
+    }
 }
 
 /// A compiled, flat sorted-segment form of a [`PricingFunction`] for the
@@ -835,5 +851,47 @@ mod tests {
         // The saturation band answers max_price without inversion.
         let sat = t.expected_error(1.0 / p.grid().last().unwrap() * 0.5);
         assert_eq!(et.price_for_error(sat), Some(p.max_price()));
+    }
+
+    /// The verification layer's end-to-end smoke: a deliberately
+    /// non-subadditive knot seeded behind the test-only hook must be found
+    /// by the attack engine within its time budget, while the pristine
+    /// curve survives the same search untouched.
+    #[test]
+    fn attack_engine_finds_the_sabotaged_knot_within_budget() {
+        // The test harness's `PricingFunction` is a distinct compilation
+        // from the one mbp-testkit links (dev-dependency cycle), so the
+        // sabotaged knots cross the boundary as plain points.
+        let rebuild = |f: &PricingFunction| {
+            mbp_testkit::mbp_core::pricing::PricingFunction::from_points(
+                f.grid().to_vec(),
+                f.prices().to_vec(),
+            )
+            .expect("valid points round-trip")
+        };
+        let sabotaged = rebuild(&pf().with_sabotaged_knot());
+        let start = std::time::Instant::now();
+        let cfg = mbp_testkit::AttackConfig::default();
+        let report = mbp_testkit::attack_curve(&sabotaged, &cfg);
+        assert!(
+            !report.is_clean(),
+            "seeded non-subadditive knot must be exploitable"
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|c| matches!(c.violation, mbp_testkit::Violation::Subadditivity { .. })),
+            "the seeded defect is a subadditivity break: {:?}",
+            report.violations
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "attack must find the seeded defect in under 5s"
+        );
+        // The pristine curve survives a quick pass of the same search.
+        let clean =
+            mbp_testkit::attack_curve(&rebuild(&pf()), &mbp_testkit::AttackConfig::quick(7));
+        assert!(clean.is_clean(), "{:?}", clean.violations);
     }
 }

@@ -1,0 +1,128 @@
+//! Purchase-mode equivalence: budget requests are *navigation*, not a
+//! separate pricing path.
+//!
+//! `ErrorBudget` and `PriceBudget` resolve to an NCP and then go through
+//! exactly the same compiled-table entry a direct `AtNcp` purchase hits.
+//! These tests pin that equivalence with the two-brokers-same-seed idiom
+//! (identical data and purchase RNG seeds ⇒ bit-identical releases) and
+//! tie it to the differential oracle from `mbp-testkit`: the published
+//! curve prices identically under scan, table, and compensated-sum
+//! reference, so there is no side channel for a budget buyer to exploit.
+
+use mbp_core::error::SquareLossTransform;
+use mbp_core::market::{Broker, PurchaseRequest, Sale};
+use mbp_core::pricing::PricingFunction;
+use mbp_data::synth;
+use mbp_ml::ModelKind;
+use mbp_randx::seeded_rng;
+use mbp_testkit::{check_error_space, check_pricing, OracleConfig};
+
+const KIND: ModelKind = ModelKind::LinearRegression;
+
+fn curve() -> PricingFunction {
+    let grid: Vec<f64> = (1..=6).map(f64::from).collect();
+    let prices: Vec<f64> = grid.iter().map(|x| 9.0 * x.sqrt()).collect();
+    PricingFunction::from_points(grid, prices).expect("concave curve is valid")
+}
+
+fn broker_with_listing(data_seed: u64) -> Broker {
+    let mut rng = seeded_rng(data_seed);
+    let data = synth::simulated1(60, 3, 0.5, &mut rng).split(0.75, &mut rng);
+    let mut broker = Broker::new(data);
+    broker
+        .support(KIND, 1e-6)
+        .expect("linear regression is supported");
+    broker
+        .publish(KIND, curve(), Box::new(SquareLossTransform))
+        .expect("publish succeeds");
+    broker
+}
+
+/// Runs one purchase on a fresh broker with fixed data and RNG seeds, so
+/// two calls with requests that resolve to the same NCP must produce
+/// bit-identical sales.
+fn one_purchase(request: PurchaseRequest) -> Sale {
+    let mut broker = broker_with_listing(71);
+    let mut rng = seeded_rng(72);
+    broker
+        .buy_listed(KIND, request, &mut rng)
+        .expect("request is satisfiable on this listing")
+}
+
+fn assert_same_sale(a: &Sale, b: &Sale) {
+    assert_eq!(a.price.to_bits(), b.price.to_bits(), "price");
+    assert_eq!(a.ncp.to_bits(), b.ncp.to_bits(), "ncp");
+    assert_eq!(
+        a.expected_error.to_bits(),
+        b.expected_error.to_bits(),
+        "expected error"
+    );
+    let wa = a.model.weights().as_slice();
+    let wb = b.model.weights().as_slice();
+    assert_eq!(wa.len(), wb.len());
+    for (x, y) in wa.iter().zip(wb) {
+        assert_eq!(x.to_bits(), y.to_bits(), "released weights");
+    }
+}
+
+#[test]
+fn error_budget_hits_the_same_table_entry_as_a_direct_purchase() {
+    for eps in [1.2, 1.5, 2.0, 3.0] {
+        let budgeted = one_purchase(PurchaseRequest::ErrorBudget(eps));
+        assert!(
+            budgeted.expected_error <= eps + 1e-12,
+            "budget respected: {} > {eps}",
+            budgeted.expected_error
+        );
+        // Replaying the resolved NCP directly is indistinguishable — same
+        // table entry, same price, same noise draw, same weights.
+        let direct = one_purchase(PurchaseRequest::AtNcp(budgeted.ncp));
+        assert_same_sale(&budgeted, &direct);
+    }
+}
+
+#[test]
+fn price_budget_hits_the_same_table_entry_as_a_direct_purchase() {
+    for budget in [5.0, 9.0, 14.0, 25.0] {
+        let budgeted = one_purchase(PurchaseRequest::PriceBudget(budget));
+        assert!(
+            budgeted.price <= budget + 1e-12,
+            "budget respected: {} > {budget}",
+            budgeted.price
+        );
+        let direct = one_purchase(PurchaseRequest::AtNcp(budgeted.ncp));
+        assert_same_sale(&budgeted, &direct);
+    }
+}
+
+#[test]
+fn budget_modes_pay_exactly_the_published_table_price() {
+    // First, the listing's curve is differentially clean: scan, compiled
+    // table, and the compensated-sum reference agree to within 1e-12 in
+    // both price space and error space. Budget navigation therefore cannot
+    // land on a "cheaper copy" of any entry.
+    let f = curve();
+    let cfg = OracleConfig {
+        seed: 73,
+        probes: 1_000,
+        ..OracleConfig::default()
+    };
+    assert!(check_pricing(&f, &cfg).is_clean());
+    assert!(check_error_space(&f, &SquareLossTransform, &cfg).is_clean());
+
+    // Second, every budget sale is priced by that same table.
+    let table = f.compile();
+    for request in [
+        PurchaseRequest::ErrorBudget(1.3),
+        PurchaseRequest::ErrorBudget(2.5),
+        PurchaseRequest::PriceBudget(7.0),
+        PurchaseRequest::PriceBudget(18.0),
+    ] {
+        let sale = one_purchase(request);
+        assert_eq!(
+            sale.price.to_bits(),
+            table.price_for_ncp(sale.ncp).to_bits(),
+            "budget sale must be served from the published table entry"
+        );
+    }
+}

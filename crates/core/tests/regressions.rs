@@ -1,0 +1,67 @@
+//! Named regression tests promoted from `properties.proptest-regressions`.
+//!
+//! Proptest replays those seeds before generating novel cases, but only
+//! for whoever runs the property suite with the regression file present.
+//! Promoting the shrunken counterexamples into plain `#[test]`s makes
+//! them first-class, named, and grep-able: they run everywhere (including
+//! `--test regressions` in isolation), survive a deleted or rewritten
+//! regression file, and document *what* the historical failure was.
+//!
+//! Both cases stress the same corner of the Theorem 10 DP: long runs of
+//! zero-valuation buyers below a single positive-valuation point, where
+//! the subadditivity ratio constraints must pull the high price down
+//! without driving intermediate prices negative or breaking monotonicity.
+
+use mbp_core::arbitrage::audit;
+use mbp_core::revenue::{revenue, solve_bv_dp, BuyerPoint};
+use mbp_optim::isotonic::is_relaxed_feasible;
+
+/// Mirrors the `dp_output_always_well_behaved` property from
+/// `properties.rs` on one concrete instance.
+fn assert_dp_well_behaved(points: &[BuyerPoint]) {
+    let sol = solve_bv_dp(points);
+    let grid: Vec<f64> = points.iter().map(|p| p.a).collect();
+    assert!(
+        is_relaxed_feasible(sol.pricing.prices(), &grid, 1e-7),
+        "DP prices must be monotone and ratio-feasible"
+    );
+    assert!(
+        (sol.objective - revenue(&sol.pricing, points)).abs() < 1e-9,
+        "objective {} inconsistent with evaluated revenue {}",
+        sol.objective,
+        revenue(&sol.pricing, points)
+    );
+    assert!(sol.objective >= -1e-12);
+    let surplus: f64 = points.iter().map(|p| p.demand * p.valuation).sum();
+    assert!(sol.objective <= surplus + 1e-9);
+    let report = audit(&sol.pricing, &grid, 4, 1e-5);
+    assert!(report.is_clean(), "{report:?}");
+}
+
+/// Seed `99080a23…`: three zero-valuation points, then one valued point
+/// far up the grid.
+#[test]
+fn dp_regression_zero_valuation_prefix_with_one_valued_tail_point() {
+    let points = [
+        BuyerPoint::new(0.5, 0.0, 0.05),
+        BuyerPoint::new(2.620_172_681_184_32, 0.0, 0.05),
+        BuyerPoint::new(3.120_172_681_184_32, 0.0, 0.05),
+        BuyerPoint::new(6.756_339_404_138_743, 12.203_109_316_914_15, 0.05),
+    ];
+    assert_dp_well_behaved(&points);
+}
+
+/// Seed `e0e3f9d5…`: five zero-valuation points in two tight clusters,
+/// then one valued point just past the second cluster.
+#[test]
+fn dp_regression_clustered_zero_valuations_before_the_valued_point() {
+    let points = [
+        BuyerPoint::new(2.089_264_147_368_508, 0.0, 0.05),
+        BuyerPoint::new(2.589_264_147_368_508, 0.0, 0.05),
+        BuyerPoint::new(3.089_264_147_368_508, 0.0, 0.05),
+        BuyerPoint::new(5.800_255_919_707_685, 0.0, 0.05),
+        BuyerPoint::new(6.300_255_919_707_685, 0.0, 0.05),
+        BuyerPoint::new(6.800_255_919_707_685, 17.869_475_530_965_023, 0.05),
+    ];
+    assert_dp_well_behaved(&points);
+}

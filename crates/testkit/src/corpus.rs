@@ -1,0 +1,258 @@
+//! Persisted regression corpora for the attack engine.
+//!
+//! Every counterexample the engine ever finds is written to a plain-text
+//! corpus file (one case per line, `#` comments allowed) under
+//! `testkit/corpus/` at the repository root. Later runs replay the corpus
+//! *before* randomized search, so a pricing defect that was fixed once can
+//! never silently return — the same discipline proptest applies with its
+//! `.proptest-regressions` files, but in a format readable without shrink
+//! logs.
+//!
+//! Line format (whitespace-separated):
+//!
+//! ```text
+//! mono <x_lo> <x_hi>
+//! subadd <x_1> <x_2> [... <x_k>]
+//! budget <b>
+//! ```
+
+use crate::attack::Violation;
+use mbp_core::pricing::PricingFunction;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One replayable attack case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Case {
+    /// Monotonicity probe: check `p̄(x_lo) ≤ p̄(x_hi)`.
+    Monotonicity(f64, f64),
+    /// Subadditivity probe: check `p̄(Σ xᵢ) ≤ Σ p̄(xᵢ)`.
+    Subadditivity(Vec<f64>),
+    /// Budget round-trip probe: check the inversion of `b` re-prices
+    /// within `b` and cannot be bettered.
+    Budget(f64),
+}
+
+impl Case {
+    /// Replays this case against `f`; `Some(violation)` when the defect is
+    /// (still) present.
+    pub fn replay(&self, f: &PricingFunction, tol: f64) -> Option<Violation> {
+        let beats = |lhs: f64, rhs: f64| lhs > rhs + tol * lhs.abs().max(rhs.abs()).max(1.0);
+        match self {
+            Case::Monotonicity(x_lo, x_hi) => {
+                let (p_lo, p_hi) = (f.price_at(*x_lo), f.price_at(*x_hi));
+                beats(p_lo, p_hi).then_some(Violation::Monotonicity {
+                    x_lo: *x_lo,
+                    x_hi: *x_hi,
+                    p_lo,
+                    p_hi,
+                })
+            }
+            Case::Subadditivity(parts) => {
+                let whole: f64 = parts.iter().sum();
+                let whole_price = f.price_at(whole);
+                let parts_price: f64 = parts.iter().map(|&x| f.price_at(x)).sum();
+                beats(whole_price, parts_price).then_some(Violation::Subadditivity {
+                    parts: parts.clone(),
+                    whole_price,
+                    parts_price,
+                })
+            }
+            Case::Budget(b) => {
+                let x = f.max_precision_for_budget(*b)?;
+                if !x.is_finite() {
+                    return None;
+                }
+                let reprice = f.price_at(x);
+                beats(reprice, *b).then_some(Violation::BudgetOvercharge {
+                    budget: *b,
+                    precision: x,
+                    reprice,
+                })
+            }
+        }
+    }
+
+    /// The corpus form of a found violation, when one exists (ε-space
+    /// violations are transform-specific and not persisted).
+    pub fn from_violation(v: &Violation) -> Option<Case> {
+        match v {
+            Violation::Monotonicity { x_lo, x_hi, .. } => Some(Case::Monotonicity(*x_lo, *x_hi)),
+            Violation::Subadditivity { parts, .. } => Some(Case::Subadditivity(parts.clone())),
+            Violation::BudgetOvercharge { budget, .. } => Some(Case::Budget(*budget)),
+            Violation::BudgetUndersell { budget, .. } => Some(Case::Budget(*budget)),
+            Violation::EpsilonSpace { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Case {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Case::Monotonicity(lo, hi) => write!(f, "mono {lo} {hi}"),
+            Case::Subadditivity(parts) => {
+                write!(f, "subadd")?;
+                for p in parts {
+                    write!(f, " {p}")?;
+                }
+                Ok(())
+            }
+            Case::Budget(b) => write!(f, "budget {b}"),
+        }
+    }
+}
+
+/// A loaded corpus file.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    cases: Vec<Case>,
+}
+
+impl Corpus {
+    /// The in-repo corpus directory (`testkit/corpus/` at the workspace
+    /// root), for tests and CI; external callers pass explicit paths.
+    pub fn default_dir() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../testkit/corpus")
+    }
+
+    /// Parses a corpus from text (blank lines and `#` comments skipped).
+    pub fn parse(text: &str) -> Result<Corpus, String> {
+        let mut cases = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let kind = parts.next().expect("non-empty line");
+            let nums: Result<Vec<f64>, _> = parts.map(str::parse).collect();
+            let nums = nums.map_err(|e| format!("line {}: {e}", i + 1))?;
+            let case = match (kind, nums.len()) {
+                ("mono", 2) => Case::Monotonicity(nums[0], nums[1]),
+                ("subadd", n) if n >= 2 => Case::Subadditivity(nums),
+                ("budget", 1) => Case::Budget(nums[0]),
+                _ => return Err(format!("line {}: unrecognized case {line:?}", i + 1)),
+            };
+            cases.push(case);
+        }
+        Ok(Corpus { cases })
+    }
+
+    /// Loads a corpus file; a missing file is an empty corpus.
+    pub fn load(path: &Path) -> io::Result<Corpus> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                Corpus::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Corpus::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes the corpus back out (one case per line, with a header).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut text = String::from("# mbp-testkit regression corpus: one attack case per line.\n");
+        for case in &self.cases {
+            text.push_str(&case.to_string());
+            text.push('\n');
+        }
+        std::fs::write(path, text)
+    }
+
+    /// The cases, in file order.
+    pub fn cases(&self) -> &[Case] {
+        &self.cases
+    }
+
+    /// Adds a case unless an identical one is already present.
+    pub fn add(&mut self, case: Case) -> bool {
+        if self.cases.contains(&case) {
+            return false;
+        }
+        self.cases.push(case);
+        true
+    }
+
+    /// Replays every case against `f`; returns the violations that still
+    /// reproduce (must be empty for a regression-free curve).
+    pub fn replay(&self, f: &PricingFunction, tol: f64) -> Vec<Violation> {
+        self.cases.iter().filter_map(|c| c.replay(f, tol)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broken() -> PricingFunction {
+        PricingFunction::from_points(vec![1.0, 2.0, 4.0], vec![1.0, 4.0, 16.0]).unwrap()
+    }
+
+    fn sound() -> PricingFunction {
+        PricingFunction::from_points(vec![1.0, 2.0, 4.0], vec![10.0, 14.0, 20.0]).unwrap()
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut corpus = Corpus::default();
+        corpus.add(Case::Monotonicity(1.0, 2.0));
+        corpus.add(Case::Subadditivity(vec![1.0, 1.5]));
+        corpus.add(Case::Budget(12.5));
+        let text = corpus
+            .cases()
+            .iter()
+            .map(|c| format!("{c}\n"))
+            .collect::<String>();
+        let reparsed = Corpus::parse(&text).unwrap();
+        assert_eq!(reparsed.cases(), corpus.cases());
+    }
+
+    #[test]
+    fn replay_flags_broken_and_clears_sound() {
+        let corpus = Corpus::parse("subadd 1.0 1.0\nmono 1.0 2.0\nbudget 5.0\n").unwrap();
+        assert!(!corpus.replay(&broken(), 1e-9).is_empty());
+        assert!(corpus.replay(&sound(), 1e-9).is_empty());
+    }
+
+    #[test]
+    fn dedupes_and_rejects_garbage() {
+        let mut corpus = Corpus::default();
+        assert!(corpus.add(Case::Budget(1.0)));
+        assert!(!corpus.add(Case::Budget(1.0)));
+        assert!(Corpus::parse("frobnicate 1 2\n").is_err());
+        assert!(Corpus::parse("mono 1\n").is_err());
+        assert!(Corpus::parse("# comment\n\n").unwrap().cases().is_empty());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("mbp-testkit-corpus-test");
+        let path = dir.join("pricing.txt");
+        let mut corpus = Corpus::default();
+        corpus.add(Case::Subadditivity(vec![0.5, 0.75, 1.0]));
+        corpus.save(&path).unwrap();
+        let loaded = Corpus::load(&path).unwrap();
+        assert_eq!(loaded.cases(), corpus.cases());
+        std::fs::remove_dir_all(&dir).ok();
+        // Missing files load as empty corpora.
+        assert!(Corpus::load(&path).unwrap().cases().is_empty());
+    }
+
+    #[test]
+    fn in_repo_corpus_parses_and_holds_no_regressions_for_sound_curves() {
+        let path = Corpus::default_dir().join("pricing.txt");
+        let corpus = Corpus::load(&path).expect("corpus parses");
+        assert!(
+            !corpus.cases().is_empty(),
+            "seed corpus should ship with the repo"
+        );
+        // Historical defects must stay fixed on a sound curve.
+        assert!(corpus.replay(&sound(), 1e-9).is_empty());
+        // ... and must still reproduce on the curve shape that caused them.
+        assert!(!corpus.replay(&broken(), 1e-9).is_empty());
+    }
+}

@@ -22,7 +22,8 @@ fn main() {
             center: 0.6,
             width: 0.35,
         }),
-    );
+    )
+    .expect("example grid is valid");
 
     println!("lambda  revenue  affordability  arbitrage-free");
     let mut frontier = Vec::new();

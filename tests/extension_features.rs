@@ -11,6 +11,7 @@ fn population() -> Vec<BuyerPoint> {
         &ValueCurve::new(ValueShape::Concave { power: 2.0 }, 10.0, 100.0),
         &DemandCurve::new(DemandShape::Uniform),
     )
+    .unwrap()
 }
 
 #[test]

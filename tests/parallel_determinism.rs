@@ -123,7 +123,7 @@ fn welfare_evaluation_agrees_across_thread_counts() {
         center: 0.5,
         width: 0.3,
     });
-    let seed_buyers = mbp_core::market::curves::buyer_points(&g, &value, &demand);
+    let seed_buyers = mbp_core::market::curves::buyer_points(&g, &value, &demand).unwrap();
     let pricing = solve_bv_dp(&seed_buyers).pricing;
     let population: Vec<BuyerPoint> = (0..30_000)
         .map(|i| {
