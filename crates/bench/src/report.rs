@@ -12,6 +12,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 
 /// Formats a float with 4 significant-ish decimals, trimming noise.
 pub fn fmt(x: f64) -> String {
+    // LINT-ALLOW(float): exact-zero sentinel for display formatting only.
     if x == 0.0 {
         return "0".to_string();
     }

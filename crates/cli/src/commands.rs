@@ -28,6 +28,8 @@ pub enum CliError {
     Market(String),
     /// Unknown subcommand.
     UnknownCommand(String),
+    /// Static-analysis findings (the rendered report).
+    Lint(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -39,6 +41,7 @@ impl std::fmt::Display for CliError {
             CliError::UnknownCommand(c) => {
                 write!(f, "unknown command {c:?}; run with no arguments for usage")
             }
+            CliError::Lint(report) => write!(f, "{report}"),
         }
     }
 }
@@ -88,6 +91,11 @@ COMMANDS:
                                         at any batch size)
   predict   --model MODEL_TSV     score a CSV with a saved model instance
             --csv F
+  lint      [--root DIR]          static-analysis pass over the workspace
+            [--baseline FILE]     (determinism, panic-freedom, float
+                                  discipline, lock order, unsafe audit);
+                                  exits non-zero on any finding beyond the
+                                  lint.toml waiver baseline
 
 GLOBAL FLAGS (every command):
   --threads N          thread-pool size for parallel hot paths (default:
@@ -171,7 +179,31 @@ fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("sell") => cmd_sell(args),
         Some("simulate") => cmd_simulate(args),
         Some("predict") => cmd_predict(args),
+        Some("lint") => cmd_lint(args),
         Some(other) => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+/// `mbp-market lint`: run the workspace static-analysis pass.
+///
+/// Scans every `.rs` file under `--root` (default: the current directory)
+/// against the determinism / panic-freedom / float / lock-order / unsafe
+/// rules, honoring the `--baseline` waiver budget (default: `lint.toml`
+/// under the root when present). Findings are returned as an error so the
+/// process exits non-zero, which is what lets CI gate on this command.
+fn cmd_lint(args: &Args) -> Result<String, CliError> {
+    let root = Path::new(args.get("root").unwrap_or("."));
+    let default_baseline = root.join("lint.toml");
+    let baseline = match args.get("baseline") {
+        Some(p) => Some(Path::new(p).to_path_buf()),
+        None => default_baseline.exists().then_some(default_baseline),
+    };
+    let report = mbp_lint::run(root, baseline.as_deref())
+        .map_err(|e| CliError::Data(format!("scanning {}: {e}", root.display())))?;
+    if report.is_clean() {
+        Ok(report.render())
+    } else {
+        Err(CliError::Lint(report.render()))
     }
 }
 

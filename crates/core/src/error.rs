@@ -92,6 +92,8 @@ impl LinRegSquareTransform {
         assert_eq!(eval.d(), h_star.len(), "dimension mismatch");
         let base = TestError::SquareLoss.evaluate(h_star, eval);
         let gram = eval.x.gram();
+        // Setup-time constructor with a documented `# Panics` contract.
+        // LINT-ALLOW(panic): gram() always returns a square matrix.
         let trace = gram.trace().expect("gram is square");
         let slope = trace / (2.0 * eval.n() as f64 * eval.d() as f64);
         LinRegSquareTransform { base, slope }
@@ -176,6 +178,8 @@ impl DeltaMethodTransform {
     pub fn for_linear_regression(eval: &Dataset, h_star: &Vector) -> Self {
         let base = TestError::SquareLoss.evaluate(h_star, eval);
         // Hessian of (1/2n)‖Xh − y‖² is XᵀX/n.
+        // Setup-time constructor, not the serve path.
+        // LINT-ALLOW(panic): gram() always returns a square matrix.
         let trace = eval.x.gram().trace().expect("gram is square") / eval.n().max(1) as f64;
         DeltaMethodTransform::new(base, trace, eval.d())
     }
@@ -298,16 +302,28 @@ impl EmpiricalTransform {
     }
 
     fn interp(&self, ncp: f64) -> f64 {
-        let n = self.ncps.len();
-        if ncp <= self.ncps[0] {
-            return self.errors[0];
+        let (Some(&e_first), Some(&e_last)) = (self.errors.first(), self.errors.last()) else {
+            return 0.0;
+        };
+        let (Some(&d_first), Some(&d_last)) = (self.ncps.first(), self.ncps.last()) else {
+            return e_first;
+        };
+        if ncp <= d_first {
+            return e_first;
         }
-        if ncp >= self.ncps[n - 1] {
-            return self.errors[n - 1];
+        if ncp >= d_last {
+            return e_last;
         }
+        // Interior: partition_point lands in [1, n-1] because ncp is
+        // strictly between the endpoints; the fallbacks are unreachable.
         let idx = self.ncps.partition_point(|&x| x <= ncp);
-        let (x0, x1) = (self.ncps[idx - 1], self.ncps[idx]);
-        let (y0, y1) = (self.errors[idx - 1], self.errors[idx]);
+        let i0 = idx.wrapping_sub(1);
+        let (Some(&x0), Some(&x1)) = (self.ncps.get(i0), self.ncps.get(idx)) else {
+            return e_last;
+        };
+        let (Some(&y0), Some(&y1)) = (self.errors.get(i0), self.errors.get(idx)) else {
+            return e_last;
+        };
         y0 + (y1 - y0) * (ncp - x0) / (x1 - x0)
     }
 }
@@ -318,17 +334,20 @@ impl ErrorTransform for EmpiricalTransform {
     }
 
     fn ncp_for_error(&self, err: f64) -> Option<f64> {
-        let n = self.ncps.len();
-        if !err.is_finite() || err < self.errors[0] - 1e-12 || err > self.errors[n - 1] + 1e-12 {
+        let (&e_first, &e_last) = (self.errors.first()?, self.errors.last()?);
+        if !err.is_finite() || err < e_first - 1e-12 || err > e_last + 1e-12 {
             return None;
         }
         // Find the first segment whose upper endpoint reaches err.
         let idx = self.errors.partition_point(|&e| e < err);
         if idx == 0 {
-            return Some(self.ncps[0]);
+            return self.ncps.first().copied();
         }
-        let (x0, x1) = (self.ncps[idx - 1], self.ncps[idx.min(n - 1)]);
-        let (y0, y1) = (self.errors[idx - 1], self.errors[idx.min(n - 1)]);
+        // idx ≥ 1 here, and the clamped upper index stays in bounds, so the
+        // `?`s below are unreachable for the paired-by-construction vectors.
+        let hi = idx.min(self.ncps.len().saturating_sub(1));
+        let (&x0, &x1) = (self.ncps.get(idx - 1)?, self.ncps.get(hi)?);
+        let (&y0, &y1) = (self.errors.get(idx - 1)?, self.errors.get(hi)?);
         if (y1 - y0).abs() < 1e-15 {
             // Flat segment (pooled by PAVA): every δ in it attains err;
             // return the cheapest-noise end (smaller δ ⇒ pricier model, so

@@ -85,6 +85,8 @@ impl Seller {
         demand_curve: DemandCurve,
     ) -> Self {
         if let Err(e) = super::curves::validate_grid(&grid) {
+            // Sellers are built at setup time, never on the serve path.
+            // LINT-ALLOW(panic): documented constructor contract.
             panic!("invalid seller grid: {e}");
         }
         Seller {
@@ -98,6 +100,8 @@ impl Seller {
     /// The buyer population implied by the research curves.
     pub fn buyer_population(&self) -> Vec<BuyerPoint> {
         buyer_points(&self.grid, &self.value_curve, &self.demand_curve)
+            // Curve sampling over a valid grid cannot fail.
+            // LINT-ALLOW(panic): grid validated in `Seller::new`.
             .expect("seller grid validated at construction")
     }
 }
@@ -182,11 +186,14 @@ impl PriceErrorCurve {
     /// the curve — the shape the buyer should always see in a well-behaved
     /// market.
     pub fn is_well_formed(&self) -> bool {
-        self.points.windows(2).all(|w| {
-            w[0].ncp <= w[1].ncp
-                && w[0].price >= w[1].price - 1e-9
-                && w[0].expected_error <= w[1].expected_error + 1e-9
-        })
+        self.points
+            .iter()
+            .zip(self.points.iter().skip(1))
+            .all(|(a, b)| {
+                a.ncp <= b.ncp
+                    && a.price >= b.price - 1e-9
+                    && a.expected_error <= b.expected_error + 1e-9
+            })
     }
 
     /// Cheapest price at which the curve offers expected error ≤ `err`,
@@ -201,12 +208,13 @@ impl PriceErrorCurve {
         // Largest sampled NCP whose error is still within budget: errors are
         // non-decreasing along the curve, so partition on the error budget.
         let idx = self.points.partition_point(|p| p.expected_error <= err);
+        // `first` is within budget, so the partition is never empty.
         debug_assert!(idx >= 1);
-        let lo = &self.points[idx - 1];
+        let lo = self.points.get(idx.wrapping_sub(1))?;
         if idx == self.points.len() {
             return Some(lo.price);
         }
-        let hi = &self.points[idx];
+        let hi = self.points.get(idx)?;
         if hi.expected_error <= lo.expected_error {
             return Some(hi.price.min(lo.price));
         }
@@ -527,10 +535,14 @@ impl Broker {
             );
             let weights = match kind {
                 ModelKind::LinearRegression => {
-                    if self.ridge_solver.is_none() {
-                        self.ridge_solver = Some(RidgeSolver::new(&self.data.train)?);
-                    }
-                    let solver = self.ridge_solver.as_mut().expect("just initialized");
+                    // take/insert instead of is_none/as_mut so the solver is
+                    // reachable without an `expect` between the two steps.
+                    let solver = match self.ridge_solver.take() {
+                        Some(s) => self.ridge_solver.insert(s),
+                        None => self
+                            .ridge_solver
+                            .insert(RidgeSolver::new(&self.data.train)?),
+                    };
                     if solver.has_factor(ridge) {
                         mbp_obs::inc("mbp.core.broker.factor_cache_hit");
                     } else {
@@ -567,7 +579,10 @@ impl Broker {
             // Same (kind, ridge) already on the menu: a pure cache hit.
             mbp_obs::inc("mbp.core.broker.factor_cache_hit");
         }
-        Ok(&self.menu[&kind].model)
+        self.menu
+            .get(&kind)
+            .map(|entry| &entry.model)
+            .ok_or(MarketError::UnsupportedModel(kind))
     }
 
     /// Number of distinct ridge factorizations cached for linear
@@ -602,6 +617,14 @@ impl Broker {
         if !self.menu.contains_key(&kind) {
             return Err(MarketError::UnsupportedModel(kind));
         }
+        // Reject malformed grids up front: `price_for_ncp` requires a
+        // positive finite NCP, and a NaN would previously panic the serve
+        // path inside the pricing assert.
+        if let Some(&bad) = ncps.iter().find(|d| !d.is_finite() || **d <= 0.0) {
+            return Err(MarketError::BadRequest(format!(
+                "NCP grid entries must be positive and finite, got {bad}"
+            )));
+        }
         let mut points: Vec<PriceErrorPoint> = ncps
             .iter()
             .map(|&ncp| PriceErrorPoint {
@@ -610,7 +633,7 @@ impl Broker {
                 price: pricing.price_for_ncp(ncp),
             })
             .collect();
-        points.sort_by(|a, b| a.ncp.partial_cmp(&b.ncp).expect("finite NCPs"));
+        points.sort_by(|a, b| a.ncp.total_cmp(&b.ncp));
         Ok(PriceErrorCurve { points })
     }
 
@@ -735,7 +758,9 @@ impl PricePath<'_> {
             PricePath::Scan(p) => p.grid(),
             PricePath::Table(t) => t.knots(),
         };
-        *grid.last().expect("pricing grid is non-empty")
+        // Both sources validate non-empty grids at construction; an empty
+        // grid degrades to 0.0, which resolves to InsufficientBudget.
+        grid.last().copied().unwrap_or(0.0)
     }
 }
 

@@ -71,6 +71,21 @@ impl SharedBroker {
         mbp_obs::inc("mbp.core.sharedbroker.contention");
     }
 
+    /// Picks the next ledger stripe round-robin and locks it, counting a
+    /// contended acquisition when the uncontended `try_lock` fails.
+    fn lock_next_stripe(&self) -> parking_lot::MutexGuard<'_, Vec<Transaction>> {
+        let idx = self.inner.next_stripe.fetch_add(1, Ordering::Relaxed) % LEDGER_STRIPES;
+        // LINT-ALLOW(panic): idx < LEDGER_STRIPES by the modulo above.
+        let stripe = &self.inner.stripes[idx];
+        match stripe.try_lock() {
+            Some(g) => g,
+            None => {
+                self.note_contention();
+                stripe.lock()
+            }
+        }
+    }
+
     /// Adds a model to the menu (delegates to [`Broker::support`]).
     pub fn support(&self, kind: ModelKind, ridge: f64) -> Result<(), MarketError> {
         self.inner.core.write().support(kind, ridge).map(|_| ())
@@ -110,15 +125,7 @@ impl SharedBroker {
             };
             core.quote_batch(kind, requests, rng)?
         };
-        let idx = self.inner.next_stripe.fetch_add(1, Ordering::Relaxed) % LEDGER_STRIPES;
-        let stripe = &self.inner.stripes[idx];
-        let mut guard = match stripe.try_lock() {
-            Some(g) => g,
-            None => {
-                self.note_contention();
-                stripe.lock()
-            }
-        };
+        let mut guard = self.lock_next_stripe();
         Ok(results
             .into_iter()
             .map(|r| {
@@ -155,16 +162,7 @@ impl SharedBroker {
             };
             core.quote(kind, request, pricing, transform, rng)?
         };
-        let idx = self.inner.next_stripe.fetch_add(1, Ordering::Relaxed) % LEDGER_STRIPES;
-        let stripe = &self.inner.stripes[idx];
-        let mut guard = match stripe.try_lock() {
-            Some(g) => g,
-            None => {
-                self.note_contention();
-                stripe.lock()
-            }
-        };
-        guard.push(tx);
+        self.lock_next_stripe().push(tx);
         Ok(sale)
     }
 
@@ -200,12 +198,20 @@ impl SharedBroker {
     ///
     /// Striped transactions are drained into the core ledger in stripe
     /// order before `f` runs, so `f` sees a fully reconciled broker.
+    ///
+    /// The drain completes *before* the write guard is taken: no code path
+    /// in this module ever holds a stripe mutex and the core lock at the
+    /// same time, so the lock hierarchy is trivially acyclic. A buy whose
+    /// quote finishes between the drain and the write acquisition parks its
+    /// transaction in a stripe until the next drain — the same visibility a
+    /// buy landing right after `f` returns always had.
     pub fn with_broker<T>(&self, f: impl FnOnce(&mut Broker) -> T) -> T {
-        let mut core = self.inner.core.write();
+        let mut drained: Vec<Transaction> = Vec::new();
         for stripe in &self.inner.stripes {
-            let mut txs = stripe.lock();
-            core.settle(txs.drain(..));
+            drained.append(&mut stripe.lock());
         }
+        let mut core = self.inner.core.write();
+        core.settle(drained.drain(..));
         f(&mut core)
     }
 }

@@ -108,6 +108,7 @@ impl NoiseMechanism for GaussianMechanism {
         check_ncp(ncp);
         mbp_obs::inc("mbp.core.mechanism.gaussian.count");
         copy_into(h_star, out);
+        // LINT-ALLOW(float): exact-zero NCP is the documented no-noise sentinel.
         if ncp == 0.0 {
             return;
         }
@@ -159,6 +160,7 @@ impl NoiseMechanism for LaplaceMechanism {
     fn perturb_into(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng, out: &mut Vector) {
         check_ncp(ncp);
         copy_into(h_star, out);
+        // LINT-ALLOW(float): exact-zero NCP is the documented no-noise sentinel.
         if ncp == 0.0 {
             return;
         }
@@ -189,6 +191,7 @@ impl NoiseMechanism for UniformAdditiveMechanism {
     fn perturb_into(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng, out: &mut Vector) {
         check_ncp(ncp);
         copy_into(h_star, out);
+        // LINT-ALLOW(float): exact-zero NCP is the documented no-noise sentinel.
         if ncp == 0.0 {
             return;
         }
@@ -225,6 +228,7 @@ impl NoiseMechanism for UniformMultiplicativeMechanism {
     fn perturb_into(&self, h_star: &Vector, ncp: f64, rng: &mut MbpRng, out: &mut Vector) {
         check_ncp(ncp);
         copy_into(h_star, out);
+        // LINT-ALLOW(float): exact-zero NCP is the documented no-noise sentinel.
         if ncp == 0.0 {
             return;
         }

@@ -85,8 +85,8 @@ impl PricingFunction {
                 prices: prices.len(),
             });
         }
-        if !(grid.windows(2).all(|w| w[0] < w[1]) && grid.iter().all(|&x| x > 0.0 && x.is_finite()))
-        {
+        let ascending = grid.iter().zip(grid.iter().skip(1)).all(|(a, b)| a < b);
+        if !(ascending && grid.iter().all(|&x| x > 0.0 && x.is_finite())) {
             return Err(PricingError::BadGrid);
         }
         for (i, &p) in prices.iter().enumerate() {
@@ -130,20 +130,33 @@ impl PricingFunction {
         if x.is_nan() || x <= 0.0 {
             return 0.0;
         }
-        let n = self.grid.len();
+        let (Some(&x_first), Some(&y_first)) = (self.grid.first(), self.prices.first()) else {
+            return 0.0;
+        };
+        let (Some(&x_last), Some(&y_last)) = (self.grid.last(), self.prices.last()) else {
+            return 0.0;
+        };
         // Constant-price special case: grid carries no slope information.
-        if n == 1 {
-            return self.prices[0];
+        if self.grid.len() == 1 {
+            return y_first;
         }
-        if x <= self.grid[0] {
-            return self.prices[0] * x / self.grid[0];
+        if x <= x_first {
+            return y_first * x / x_first;
         }
-        if x >= self.grid[n - 1] {
-            return self.prices[n - 1];
+        if x >= x_last {
+            return y_last;
         }
+        // Interior: partition_point lands in [1, n-1] because x is strictly
+        // between the endpoints; the fallbacks are unreachable for the
+        // validated equal-length vectors.
         let idx = self.grid.partition_point(|&g| g <= x);
-        let (x0, x1) = (self.grid[idx - 1], self.grid[idx]);
-        let (y0, y1) = (self.prices[idx - 1], self.prices[idx]);
+        let i0 = idx.wrapping_sub(1);
+        let (Some(&x0), Some(&x1)) = (self.grid.get(i0), self.grid.get(idx)) else {
+            return y_last;
+        };
+        let (Some(&y0), Some(&y1)) = (self.prices.get(i0), self.prices.get(idx)) else {
+            return y_last;
+        };
         y0 + (y1 - y0) * (x - x0) / (x1 - x0)
     }
 
@@ -162,7 +175,9 @@ impl PricingFunction {
 
     /// The saturation price `lim_{x→∞} p̄(x) = z_n`.
     pub fn max_price(&self) -> f64 {
-        *self.prices.last().expect("non-empty by construction")
+        // Construction guarantees non-empty; a degenerate empty curve would
+        // price everything at 0 rather than panic the serve path.
+        self.prices.last().copied().unwrap_or(0.0)
     }
 
     /// Largest precision purchasable with budget `b`, or `None` when even
@@ -182,30 +197,36 @@ impl PricingFunction {
         if b >= self.max_price() {
             return Some(f64::INFINITY);
         }
-        let n = self.grid.len();
+        let (Some(&x_first), Some(&y_first)) = (self.grid.first(), self.prices.first()) else {
+            return None;
+        };
         // Initial ray.
-        if b < self.prices[0] {
-            if n == 1 {
+        if b < y_first {
+            if self.grid.len() == 1 {
                 // Constant curve: any precision costs prices[0] > b.
                 return None;
             }
-            if self.prices[0] <= 0.0 {
+            if y_first <= 0.0 {
                 return None;
             }
-            let x = self.grid[0] * b / self.prices[0];
+            let x = x_first * b / y_first;
             return (x > 0.0).then_some(x);
         }
         // Walk segments; price is monotone so find the last affordable x.
-        let mut best = self.grid[0];
-        for i in 0..n - 1 {
-            let (y0, y1) = (self.prices[i], self.prices[i + 1]);
+        let mut best = x_first;
+        let pairs = self
+            .grid
+            .iter()
+            .zip(self.grid.iter().skip(1))
+            .zip(self.prices.iter().zip(self.prices.iter().skip(1)));
+        for ((&x0, &x1), (&y0, &y1)) in pairs {
             if b >= y1 {
-                best = self.grid[i + 1];
+                best = x1;
                 continue;
             }
             if b >= y0 && y1 > y0 {
                 let t = (b - y0) / (y1 - y0);
-                best = self.grid[i] + t * (self.grid[i + 1] - self.grid[i]);
+                best = x0 + t * (x1 - x0);
             }
             break;
         }
@@ -259,6 +280,11 @@ pub struct PricingTable {
     slopes: Vec<f64>,
     /// Slope of the origin ray `prices[0] / knots[0]`.
     ray_slope: f64,
+    /// First knot (`knots[0]`), cached so the hot path needs no bounds
+    /// checks on the ray branch.
+    knot_min: f64,
+    /// Last knot (`knots[n-1]`), ditto for the saturation branch.
+    knot_max: f64,
     max_price: f64,
     /// `true` when knot prices are non-decreasing (monotone curves admit
     /// binary-search budget inversion).
@@ -275,14 +301,25 @@ impl PricingTable {
         let knots = f.grid().to_vec();
         let prices = f.prices().to_vec();
         let slopes: Vec<f64> = knots
-            .windows(2)
-            .zip(prices.windows(2))
-            .map(|(x, y)| (y[1] - y[0]) / (x[1] - x[0]))
+            .iter()
+            .zip(knots.iter().skip(1))
+            .zip(prices.iter().zip(prices.iter().skip(1)))
+            .map(|((x0, x1), (y0, y1))| (y1 - y0) / (x1 - x0))
             .collect();
+        // The source function is validated non-empty; the degenerate
+        // fallbacks keep compilation infallible regardless.
+        let knot_min = knots.first().copied().unwrap_or(1.0);
+        let knot_max = knots.last().copied().unwrap_or(1.0);
+        let first_price = prices.first().copied().unwrap_or(0.0);
         PricingTable {
-            ray_slope: prices[0] / knots[0],
-            max_price: *prices.last().expect("non-empty by construction"),
-            monotone: prices.windows(2).all(|w| w[0] <= w[1]),
+            ray_slope: first_price / knot_min,
+            knot_min,
+            knot_max,
+            max_price: prices.last().copied().unwrap_or(0.0),
+            monotone: prices
+                .iter()
+                .zip(prices.iter().skip(1))
+                .all(|(a, b)| a <= b),
             slopes,
             knots,
             prices,
@@ -311,6 +348,8 @@ impl PricingTable {
         while len > 1 {
             let half = len / 2;
             let mid = lo + half;
+            // Indexing keeps the select branchless on the quote fast path.
+            // LINT-ALLOW(panic): mid < knots.len() by the loop invariant (lo + len ≤ n).
             lo = if self.knots[mid] <= x { mid } else { lo };
             len -= half;
         }
@@ -339,17 +378,25 @@ impl PricingTable {
         if x.is_nan() || x <= 0.0 {
             return 0.0;
         }
+        // For a single knot prices[0] == max_price exactly.
         if self.knots.len() == 1 {
-            return self.prices[0];
-        }
-        if x >= *self.knots.last().expect("non-empty") {
             return self.max_price;
         }
-        if x <= self.knots[0] {
+        if x >= self.knot_max {
+            return self.max_price;
+        }
+        if x <= self.knot_min {
             return self.ray_slope * x;
         }
+        // segment_index returns i < n-1 for interior x; the fallback is
+        // unreachable for the equal-length compiled vectors.
         let i = self.segment_index(x);
-        self.prices[i] + self.slopes[i] * (x - self.knots[i])
+        let (Some(&y0), Some(&m), Some(&k0)) =
+            (self.prices.get(i), self.slopes.get(i), self.knots.get(i))
+        else {
+            return self.max_price;
+        };
+        y0 + m * (x - k0)
     }
 
     /// Table evaluation of `p(δ) = p̄(1/δ)`.
@@ -390,39 +437,52 @@ impl PricingTable {
             return Some(f64::INFINITY);
         }
         let n = self.knots.len();
-        if b < self.prices[0] {
-            if n == 1 || self.prices[0] <= 0.0 {
+        let first_price = self.prices.first().copied().unwrap_or(0.0);
+        if b < first_price {
+            if n == 1 || first_price <= 0.0 {
                 return None;
             }
-            let x = self.knots[0] * b / self.prices[0];
+            let x = self.knot_min * b / first_price;
             return (x > 0.0).then_some(x);
         }
         if self.monotone {
             // Prices are non-decreasing: the last affordable knot is found
             // by binary search, then extended into the next segment. This
             // reproduces the scan bit-for-bit (same predicate, same
-            // interpolation arithmetic).
+            // interpolation arithmetic). partition_point lands in [1, n)
+            // because b sits in [prices[0], max_price); the fallbacks are
+            // unreachable.
             let idx = self.prices.partition_point(|&p| p <= b);
             debug_assert!(idx >= 1 && idx < n, "b in [prices[0], max_price)");
-            let (y0, y1) = (self.prices[idx - 1], self.prices[idx]);
-            let mut best = self.knots[idx - 1];
+            let i0 = idx.wrapping_sub(1);
+            let (Some(&y0), Some(&y1)) = (self.prices.get(i0), self.prices.get(idx)) else {
+                return Some(self.knot_max);
+            };
+            let (Some(&k0), Some(&k1)) = (self.knots.get(i0), self.knots.get(idx)) else {
+                return Some(self.knot_max);
+            };
+            let mut best = k0;
             if b >= y0 && y1 > y0 {
                 let t = (b - y0) / (y1 - y0);
-                best = self.knots[idx - 1] + t * (self.knots[idx] - self.knots[idx - 1]);
+                best = k0 + t * (k1 - k0);
             }
             return Some(best);
         }
         // Broken (non-monotone) curve: keep the exact scan semantics.
-        let mut best = self.knots[0];
-        for i in 0..n - 1 {
-            let (y0, y1) = (self.prices[i], self.prices[i + 1]);
+        let mut best = self.knot_min;
+        let pairs = self
+            .knots
+            .iter()
+            .zip(self.knots.iter().skip(1))
+            .zip(self.prices.iter().zip(self.prices.iter().skip(1)));
+        for ((&k0, &k1), (&y0, &y1)) in pairs {
             if b >= y1 {
-                best = self.knots[i + 1];
+                best = k1;
                 continue;
             }
             if b >= y0 && y1 > y0 {
                 let t = (b - y0) / (y1 - y0);
-                best = self.knots[i] + t * (self.knots[i + 1] - self.knots[i]);
+                best = k0 + t * (k1 - k0);
             }
             break;
         }
@@ -459,7 +519,7 @@ impl PhiMemo {
         // band, so they always go through `ncp_for_error`.
         let (sat_floor, sat_ceil) = match affine {
             Some(_) => {
-                let x_max = *table.knots().last().expect("non-empty");
+                let x_max = table.knot_max;
                 (
                     transform.expected_error(0.0),
                     transform.expected_error(1.0 / x_max),

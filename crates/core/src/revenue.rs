@@ -521,7 +521,7 @@ impl Baseline {
             Baseline::MedC => {
                 let total: f64 = points.iter().map(|p| p.demand).sum();
                 let mut cands: Vec<f64> = points.iter().map(|p| p.valuation).collect();
-                cands.sort_by(|x, y| y.partial_cmp(x).expect("finite"));
+                cands.sort_by(|x, y| y.total_cmp(x));
                 let mut best = points
                     .iter()
                     .map(|p| p.valuation)

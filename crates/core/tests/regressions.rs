@@ -13,8 +13,14 @@
 //! without driving intermediate prices negative or breaking monotonicity.
 
 use mbp_core::arbitrage::audit;
+use mbp_core::error::SquareLossTransform;
+use mbp_core::market::{Broker, MarketError};
+use mbp_core::pricing::PricingFunction;
 use mbp_core::revenue::{revenue, solve_bv_dp, BuyerPoint};
+use mbp_data::synth;
+use mbp_ml::ModelKind;
 use mbp_optim::isotonic::is_relaxed_feasible;
+use mbp_randx::seeded_rng;
 
 /// Mirrors the `dp_output_always_well_behaved` property from
 /// `properties.rs` on one concrete instance.
@@ -64,4 +70,53 @@ fn dp_regression_clustered_zero_valuations_before_the_valued_point() {
         BuyerPoint::new(6.800_255_919_707_685, 17.869_475_530_965_023, 0.05),
     ];
     assert_dp_well_behaved(&points);
+}
+
+/// Found by `mbp-lint`'s panic-freedom triage of the serve path: a buyer
+/// could crash the broker by requesting a price–error curve over a grid
+/// containing a NaN, zero, or negative NCP. The NaN slipped past the old
+/// `partial_cmp().expect("finite NCPs")` sort and then tripped the
+/// `delta > 0` assert inside `PricingFunction::price_for_ncp`. The grid
+/// is now validated up front and the request rejected as `BadRequest`.
+#[test]
+fn regression_price_error_curve_rejects_nonpositive_and_nan_ncps() {
+    let mut rng = seeded_rng(42);
+    let ds = synth::simulated1(200, 4, 0.5, &mut rng);
+    let mut broker = Broker::new(ds.split(0.75, &mut rng));
+    broker.support(ModelKind::LinearRegression, 0.0).unwrap();
+    let grid: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+    let prices: Vec<f64> = grid.iter().map(|x| 10.0 * x.sqrt()).collect();
+    let pricing = PricingFunction::from_points(grid, prices).unwrap();
+
+    for bad_grid in [
+        vec![1.0, f64::NAN, 3.0],
+        vec![0.0, 1.0, 2.0],
+        vec![-1.0, 1.0, 2.0],
+        vec![1.0, f64::INFINITY],
+    ] {
+        let err = broker
+            .price_error_curve(
+                ModelKind::LinearRegression,
+                &SquareLossTransform,
+                &pricing,
+                &bad_grid,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, MarketError::BadRequest(_)),
+            "grid {bad_grid:?} must be rejected, got {err:?}"
+        );
+    }
+
+    // The happy path is untouched: a valid grid still yields a curve.
+    let curve = broker
+        .price_error_curve(
+            ModelKind::LinearRegression,
+            &SquareLossTransform,
+            &pricing,
+            &[0.5, 1.0, 2.0, 4.0],
+        )
+        .unwrap();
+    assert_eq!(curve.points.len(), 4);
+    assert!(curve.is_well_formed());
 }

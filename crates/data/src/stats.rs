@@ -55,6 +55,7 @@ pub fn summarize(ds: &Dataset) -> DatasetSummary {
         ds.y.map(|v| (v - target_mean) * (v - target_mean))
             .mean()
             .sqrt();
+    // LINT-ALLOW(float): labels are exact ±1.0 by construction when binary.
     let binary = ds.y.as_slice().iter().all(|&v| v == 1.0 || v == -1.0);
     let positive_rate =
         (binary && n > 0).then(|| ds.y.as_slice().iter().filter(|&&v| v > 0.0).count() as f64 / nf);

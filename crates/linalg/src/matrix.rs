@@ -154,6 +154,7 @@ impl Matrix {
         let mut out = vec![0.0; self.cols];
         for i in 0..self.rows {
             let xi = x[i];
+            // LINT-ALLOW(float): exact-zero skip exploits input sparsity.
             if xi == 0.0 {
                 continue;
             }
@@ -201,6 +202,7 @@ impl Matrix {
                     for (bi, orow) in band.chunks_mut(ocols).enumerate() {
                         let arow = self.row(band_start + bi);
                         for (k, &aik) in arow[..kend].iter().enumerate().skip(kb) {
+                            // LINT-ALLOW(float): exact-zero skip exploits input sparsity.
                             if aik == 0.0 {
                                 continue;
                             }
@@ -264,6 +266,7 @@ impl Matrix {
                     let row = self.row(i);
                     for j in 0..d {
                         let rj = row[j];
+                        // LINT-ALLOW(float): exact-zero skip exploits input sparsity.
                         if rj == 0.0 {
                             continue;
                         }
@@ -286,6 +289,7 @@ impl Matrix {
                 let row = self.row(i);
                 for j in 0..d {
                     let rj = row[j];
+                    // LINT-ALLOW(float): exact-zero skip exploits input sparsity.
                     if rj == 0.0 {
                         continue;
                     }

@@ -18,6 +18,7 @@ impl SparseVector {
     /// Entries are sorted and validated; duplicate indices are rejected,
     /// explicit zeros are dropped.
     pub fn new(dim: usize, mut entries: Vec<(u32, f64)>) -> Result<Self> {
+        // LINT-ALLOW(float): dropping explicit zeros is an exact-bit test.
         entries.retain(|&(_, v)| v != 0.0);
         entries.sort_by_key(|&(i, _)| i);
         for pair in entries.windows(2) {

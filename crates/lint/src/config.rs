@@ -1,0 +1,90 @@
+//! `lint.toml` baseline: per-rule waiver budgets.
+//!
+//! The baseline is the ratchet. Every live `LINT-ALLOW` waiver in the
+//! tree counts against its rule's budget; exceeding the budget fails the
+//! run, so new violations cannot be waived into silence — the budget has
+//! to be raised in a reviewed change to `lint.toml`. When the tree uses
+//! fewer waivers than budgeted, the run prints a shrink notice so the
+//! baseline only moves down over time.
+//!
+//! Grammar (a deliberate subset of TOML, parsed by hand to stay
+//! zero-dependency):
+//!
+//! ```toml
+//! [waivers]
+//! det = 0
+//! panic = 4
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Parsed baseline. Rules absent from the file default to a budget of 0.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    pub budgets: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    pub fn budget(&self, rule: &str) -> usize {
+        self.budgets.get(rule).copied().unwrap_or(0)
+    }
+}
+
+/// Parse the `[waivers]` table out of `lint.toml` text.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut baseline = Baseline::default();
+    let mut section = String::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("lint.toml line {}: expected `key = value`", ln + 1));
+        };
+        if section == "waivers" {
+            let key = key.trim();
+            let value: usize = value.trim().parse().map_err(|_| {
+                format!(
+                    "lint.toml line {}: `{key}` must be a non-negative integer",
+                    ln + 1
+                )
+            })?;
+            if !crate::rules::RULE_IDS.contains(&key) {
+                return Err(format!(
+                    "lint.toml line {}: unknown rule id `{key}`",
+                    ln + 1
+                ));
+            }
+            baseline.budgets.insert(key.to_string(), value);
+        }
+    }
+    Ok(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_budgets_and_comments() {
+        let b = parse("# ratchet\n[waivers]\ndet = 0 # must stay zero\npanic = 3\n").unwrap();
+        assert_eq!(b.budget("det"), 0);
+        assert_eq!(b.budget("panic"), 3);
+        assert_eq!(b.budget("float"), 0);
+    }
+
+    #[test]
+    fn rejects_unknown_rule() {
+        assert!(parse("[waivers]\nbogus = 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_non_integer() {
+        assert!(parse("[waivers]\ndet = maybe\n").is_err());
+    }
+}

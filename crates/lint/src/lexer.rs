@@ -1,0 +1,447 @@
+//! A lightweight Rust tokenizer for the lint pass.
+//!
+//! This is not a full Rust lexer: it only distinguishes the token classes
+//! the rule engine needs — identifiers, punctuation/operators, numeric
+//! literals (int vs float), strings, char literals vs lifetimes, and
+//! comments. It is careful about exactly the things that break naive
+//! regex-based linting:
+//!
+//! * `//` and nested `/* */` comments (so `"// not a comment"` inside a
+//!   string never starts one, and `unwrap` inside a comment never fires),
+//! * string, raw-string (`r#"…"#`), byte-string, and char literals,
+//! * `'a` lifetimes vs `'a'` char literals,
+//! * float literals (`1.0`, `1e-9`, `2f64`) vs integers and ranges
+//!   (`0..n` does not produce a float).
+//!
+//! Positions are 1-based line/column so findings can be emitted in the
+//! conventional `file:line:col` format.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (never a char literal).
+    Lifetime,
+    /// Char literal `'x'`, `'\n'`.
+    Char,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// Integer literal.
+    Int,
+    /// Float literal (`1.0`, `1e9`, `3f64`).
+    Float,
+    /// `// …` line comment (doc comments included).
+    LineComment,
+    /// `/* … */` block comment (nesting handled).
+    BlockComment,
+    /// Operator or punctuation; multi-char operators (`==`, `::`, `..=`,
+    /// `->`, …) are a single token.
+    Punct,
+}
+
+/// One lexed token with its source text and 1-based position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    pub fn is(&self, kind: TokKind, text: &str) -> bool {
+        self.kind == kind && self.text == text
+    }
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.is(TokKind::Ident, text)
+    }
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.is(TokKind::Punct, text)
+    }
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-char operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenize `src` into the flat token stream the rules walk.
+///
+/// The lexer never fails: unrecognized bytes become single-char `Punct`
+/// tokens, and unterminated strings/comments consume to end of input.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut toks = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let start = cur.pos;
+        let kind = if cur.starts_with("//") {
+            while let Some(c) = cur.peek(0) {
+                if c == b'\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            TokKind::LineComment
+        } else if cur.starts_with("/*") {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                if cur.starts_with("/*") {
+                    depth += 1;
+                    cur.bump();
+                    cur.bump();
+                } else if cur.starts_with("*/") {
+                    depth -= 1;
+                    cur.bump();
+                    cur.bump();
+                } else if cur.bump().is_none() {
+                    break;
+                }
+            }
+            TokKind::BlockComment
+        } else if b == b'"' {
+            lex_string(&mut cur);
+            TokKind::Str
+        } else if (b == b'r' || b == b'b') && is_raw_or_byte_string(&cur) {
+            // r"…", r#"…"#, b"…", br"…", rb…; consume prefix letters then
+            // the string body.
+            while matches!(cur.peek(0), Some(b'r') | Some(b'b')) {
+                cur.bump();
+            }
+            if cur.peek(0) == Some(b'\'') {
+                // b'x' byte char
+                lex_char(&mut cur);
+                TokKind::Char
+            } else {
+                let mut hashes = 0usize;
+                while cur.peek(0) == Some(b'#') {
+                    hashes += 1;
+                    cur.bump();
+                }
+                if cur.peek(0) == Some(b'"') {
+                    cur.bump();
+                    lex_raw_string_body(&mut cur, hashes);
+                }
+                TokKind::Str
+            }
+        } else if b == b'\'' {
+            // Lifetime vs char literal: `'a` followed by a non-quote is a
+            // lifetime; `'a'`, `'\n'` are chars.
+            if cur.peek(1).is_some_and(is_ident_start)
+                && cur.peek(1) != Some(b'\\')
+                && cur.peek(2) != Some(b'\'')
+            {
+                cur.bump(); // '
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                TokKind::Lifetime
+            } else {
+                lex_char(&mut cur);
+                TokKind::Char
+            }
+        } else if is_ident_start(b) {
+            if cur.starts_with("r#") && cur.peek(2).is_some_and(is_ident_start) {
+                cur.bump();
+                cur.bump();
+            }
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokKind::Ident
+        } else if b.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else {
+            let mut matched = false;
+            for op in OPERATORS {
+                if cur.starts_with(op) {
+                    for _ in 0..op.len() {
+                        cur.bump();
+                    }
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                cur.bump();
+            }
+            TokKind::Punct
+        };
+        let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+        toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+/// True when the cursor sits on a raw/byte string or byte-char prefix
+/// (`r"`, `r#`, `b"`, `b'`, `br`, `rb` combos) rather than an identifier
+/// that merely starts with `r`/`b`.
+fn is_raw_or_byte_string(cur: &Cursor) -> bool {
+    let mut i = 0;
+    while matches!(cur.peek(i), Some(b'r') | Some(b'b')) && i < 2 {
+        i += 1;
+    }
+    // Raw identifiers (`r#type`) are handled by the ident branch; `r#"` is
+    // a raw string.
+    match cur.peek(i) {
+        Some(b'"') => true,
+        Some(b'\'') if cur.peek(0) == Some(b'b') => true,
+        Some(b'#') => {
+            let mut j = i;
+            while cur.peek(j) == Some(b'#') {
+                j += 1;
+            }
+            cur.peek(j) == Some(b'"')
+        }
+        _ => false,
+    }
+}
+
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+fn lex_raw_string_body(cur: &mut Cursor, hashes: usize) {
+    loop {
+        match cur.bump() {
+            None => break,
+            Some(b'"') => {
+                let mut h = 0usize;
+                while h < hashes && cur.peek(0) == Some(b'#') {
+                    cur.bump();
+                    h += 1;
+                }
+                if h == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn lex_char(cur: &mut Cursor) {
+    cur.bump(); // opening '
+    let mut seen = 0usize;
+    while let Some(c) = cur.peek(0) {
+        match c {
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            b'\'' => {
+                cur.bump();
+                break;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+        seen += 1;
+        if seen > 12 {
+            break; // malformed; bail rather than eat the file
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> TokKind {
+    let mut float = false;
+    if cur.starts_with("0x") || cur.starts_with("0b") || cur.starts_with("0o") {
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            cur.bump();
+        }
+        return TokKind::Int;
+    }
+    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+        cur.bump();
+    }
+    // A `.` is part of the number only when followed by a digit, so `0..n`
+    // and `1.max(x)` stay integers.
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+        cur.bump();
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            cur.bump();
+        }
+    }
+    if matches!(cur.peek(0), Some(b'e') | Some(b'E'))
+        && (cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+            || (matches!(cur.peek(1), Some(b'+') | Some(b'-'))
+                && cur.peek(2).is_some_and(|c| c.is_ascii_digit())))
+    {
+        float = true;
+        cur.bump();
+        if matches!(cur.peek(0), Some(b'+') | Some(b'-')) {
+            cur.bump();
+        }
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            cur.bump();
+        }
+    }
+    // Type suffix: `1f64` is a float, `1u32` an int.
+    if cur.starts_with("f32") || cur.starts_with("f64") {
+        float = true;
+    }
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_tokens() {
+        let toks = kinds("a // unwrap()\nb /* expect() /* nested */ */ c");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::LineComment));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::BlockComment));
+    }
+
+    #[test]
+    fn strings_do_not_start_comments() {
+        let toks = kinds(r#"let s = "// not a comment"; x"#);
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::LineComment));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"let s = r#"a "quoted" // thing"#; y"###);
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::LineComment));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "y"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn numbers_ints_floats_ranges() {
+        let toks = kinds("let a = 1.0; let b = 0..n; let c = 1e-9; let d = 2f64; let e = 7;");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, ["1.0", "1e-9", "2f64"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        let toks = kinds("a == b != c && d || e ..= f -> g => h :: i");
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ops, ["==", "!=", "&&", "||", "..=", "->", "=>", "::"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = tokenize("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

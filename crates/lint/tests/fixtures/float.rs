@@ -1,0 +1,13 @@
+//! Fixture: float comparison hazards (rule `float`).
+
+pub fn exact_eq(a: f64) -> bool {
+    a == 0.5
+}
+
+pub fn exact_ne(b: f64) -> bool {
+    b != 1.5
+}
+
+pub fn nan_trap(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}

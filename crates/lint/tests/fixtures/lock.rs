@@ -1,0 +1,17 @@
+//! Fixture: lock-order violations (rule `lock`).
+
+use std::sync::{Mutex, RwLock};
+
+pub fn stripe_under_core_write(core: &RwLock<u32>, stripes: &[Mutex<u32>; 2]) {
+    let mut guard = core.write().unwrap();
+    *guard += 1;
+    let s = stripes[0].lock();
+    drop(s);
+}
+
+pub fn descending_stripes(stripes: &[Mutex<u32>; 2]) {
+    let a = stripes[1].lock();
+    let b = stripes[0].lock();
+    drop(a);
+    drop(b);
+}

@@ -1,0 +1,10 @@
+//! Fixture: `unsafe` without a SAFETY comment (rule `safety`).
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn read_documented(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads (fixture control case).
+    unsafe { *p }
+}

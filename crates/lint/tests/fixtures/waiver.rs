@@ -1,0 +1,21 @@
+//! Fixture: waiver semantics (rule `lint`).
+//!
+//! A `LINT-ALLOW` suppresses exactly one finding on its own line or the
+//! line below; stale and malformed waivers are findings themselves.
+
+pub fn pair(first: Option<f64>, second: Option<f64>) -> f64 {
+    // LINT-ALLOW(panic): fixture — covers only the next line.
+    let a = first.unwrap();
+    let b = second.unwrap();
+    a + b
+}
+
+pub fn stale() -> f64 {
+    // LINT-ALLOW(panic): nothing to waive here.
+    1.0
+}
+
+pub fn malformed(third: Option<f64>) -> f64 {
+    // LINT-ALLOW(panics): misspelled rule id does not parse.
+    third.unwrap()
+}

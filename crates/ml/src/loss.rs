@@ -177,11 +177,13 @@ impl LogisticLoss {
             let m = y * dot(h.as_slice(), x);
             let s = sigmoid(m);
             let w = s * (1.0 - s) / n;
+            // LINT-ALLOW(float): exact-zero weight from sigmoid underflow.
             if w == 0.0 {
                 return;
             }
             for j in 0..d {
                 let xj = x[j];
+                // LINT-ALLOW(float): exact-zero skip exploits input sparsity.
                 if xj == 0.0 {
                     continue;
                 }
@@ -305,6 +307,7 @@ impl Objective for SmoothedHingeLoss {
         let sums = accumulate_dense("mbp.ml.loss.grad.par", h.len(), ds.n(), |acc, i| {
             let (x, y) = ds.example(i);
             let coeff = y * self.dphi(y * dot(h.as_slice(), x));
+            // LINT-ALLOW(float): exact-zero gradient coefficient skip.
             if coeff == 0.0 {
                 return;
             }

@@ -96,10 +96,8 @@ fn prom_name(name: &str) -> String {
 fn prom_num(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
-    } else if v == f64::INFINITY {
-        "+Inf".to_string()
-    } else if v == f64::NEG_INFINITY {
-        "-Inf".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
     } else {
         format!("{v}")
     }

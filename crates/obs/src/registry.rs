@@ -2,7 +2,7 @@
 //! histograms, all updated with relaxed atomics behind a read-mostly map.
 
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -247,11 +247,14 @@ impl HistogramSnapshot {
     }
 }
 
+// BTreeMap keeps registration storage name-ordered, so snapshots and
+// exports are deterministic by construction (hash-order iteration here
+// would reorder JSON/Prometheus output run to run).
 #[derive(Default)]
 struct Inner {
-    counters: HashMap<String, Arc<Counter>>,
-    gauges: HashMap<String, Arc<Gauge>>,
-    histograms: HashMap<String, Arc<Histogram>>,
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
 }
 
 fn registry() -> &'static RwLock<Inner> {
@@ -281,24 +284,21 @@ getter!(histogram, histograms, Histogram);
 
 pub(crate) fn snapshot() -> Snapshot {
     let inner = registry().read();
-    let mut counters: Vec<(String, u64)> = inner
+    let counters: Vec<(String, u64)> = inner
         .counters
         .iter()
         .map(|(n, c)| (n.clone(), c.get()))
         .collect();
-    let mut gauges: Vec<(String, f64)> = inner
+    let gauges: Vec<(String, f64)> = inner
         .gauges
         .iter()
         .map(|(n, g)| (n.clone(), g.get()))
         .collect();
-    let mut histograms: Vec<HistogramSnapshot> = inner
+    let histograms: Vec<HistogramSnapshot> = inner
         .histograms
         .iter()
         .map(|(n, h)| h.snapshot(n))
         .collect();
-    counters.sort_by(|a, b| a.0.cmp(&b.0));
-    gauges.sort_by(|a, b| a.0.cmp(&b.0));
-    histograms.sort_by(|a, b| a.name.cmp(&b.name));
     Snapshot {
         counters,
         gauges,

@@ -281,6 +281,8 @@ fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, total:
             continue;
         }
         let f = t[i][col];
+        // Near-zero rows are handled by the EPS ratio test below.
+        // LINT-ALLOW(float): exact-zero pivot skip.
         if f == 0.0 {
             continue;
         }

@@ -182,13 +182,13 @@ impl<'env> Scope<'env> {
                 shared.done.notify_all();
             }
         });
-        // SAFETY: the one lifetime-erasing transmute in the workspace.
-        // `scope` blocks until `pending` reaches zero before returning —
-        // on the success path and during unwinding (see `WaitGuard`) — and
-        // `pending` is only decremented after `f` has run and been dropped.
-        // The closure and all its `'env` borrows therefore strictly outlive
-        // the task's execution.
         let task: pool::Job =
+            // SAFETY: the one lifetime-erasing transmute in the workspace.
+            // `scope` blocks until `pending` reaches zero before returning —
+            // on the success path and during unwinding (see `WaitGuard`) —
+            // and `pending` is only decremented after `f` has run and been
+            // dropped. The closure and all its `'env` borrows therefore
+            // strictly outlive the task's execution.
             unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, pool::Job>(task) };
         self.pool.submit(task);
     }

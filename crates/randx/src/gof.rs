@@ -17,7 +17,7 @@ pub fn ks_statistic(samples: &mut [f64], cdf: impl Fn(f64) -> f64) -> f64 {
         samples.iter().all(|x| x.is_finite()),
         "samples must be finite"
     );
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples.sort_by(f64::total_cmp);
     let n = samples.len() as f64;
     let mut d: f64 = 0.0;
     for (i, &x) in samples.iter().enumerate() {
