@@ -44,6 +44,8 @@ pub struct AttackPhase {
 /// The full verification baseline.
 #[derive(Debug, Clone)]
 pub struct AttackBaseline {
+    /// Machine + commit + timestamp provenance stamp.
+    pub meta: crate::RunMeta,
     /// Randomized attack trials per engine run.
     pub trials: u64,
     /// Per-phase measurements.
@@ -157,6 +159,7 @@ pub fn run(trials: u64) -> AttackBaseline {
     let clean = phases.iter().all(|p| p.findings == 0);
     let deterministic = phases.iter().all(|p| p.deterministic);
     AttackBaseline {
+        meta: crate::RunMeta::from_env(),
         trials,
         phases,
         clean,
@@ -169,6 +172,7 @@ impl AttackBaseline {
     /// (`BENCH_testkit.json`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str(&self.meta.json_fields());
         out.push_str(&format!("  \"trials\": {},\n", self.trials));
         out.push_str(&format!("  \"clean\": {},\n", self.clean));
         out.push_str(&format!("  \"deterministic\": {},\n", self.deterministic));
@@ -208,6 +212,9 @@ mod tests {
         let b = run(1_000);
         let json = b.to_json();
         for key in [
+            "\"hardware_threads\"",
+            "\"commit\"",
+            "\"generated_at\"",
             "\"trials\"",
             "\"clean\"",
             "\"deterministic\"",

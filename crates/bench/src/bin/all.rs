@@ -368,6 +368,48 @@ fn main() {
         }
     });
 
+    // Tracing-overhead baseline: what mbp-obs causal tracing costs on the
+    // serve path, against its ≤2% (disabled) / ≤10% (enabled) budgets.
+    // Writes BENCH_trace.json (overridable with MBP_TRACE_OUT; quote count
+    // with MBP_TRACE_QUOTES).
+    run_phase(&mut phases, "trace-overhead", || {
+        let quotes = std::env::var("MBP_TRACE_QUOTES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&q| q >= 256)
+            .unwrap_or(20_000);
+        let baseline = mbp_bench::tracebench::run(quotes);
+        print_table(
+            &format!(
+                "Tracing overhead ({} quotes, dim {}, disabled {:+.2}%, enabled {:+.2}%, {} spans, {} exemplars)",
+                baseline.quotes,
+                baseline.model_dim,
+                baseline.overhead_disabled * 100.0,
+                baseline.overhead_enabled * 100.0,
+                baseline.spans_recorded,
+                baseline.exemplars
+            ),
+            &["workload", "quotes", "quotes/sec", "deterministic"],
+            &baseline
+                .workloads
+                .iter()
+                .map(|w| {
+                    vec![
+                        w.name.to_string(),
+                        w.quotes.to_string(),
+                        fmt(w.quotes_per_sec),
+                        w.deterministic.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        let out = std::env::var("MBP_TRACE_OUT").unwrap_or_else(|_| "BENCH_trace.json".to_string());
+        match std::fs::write(&out, baseline.to_json()) {
+            Ok(()) => println!("tracing baseline written to {out}"),
+            Err(e) => eprintln!("could not write tracing baseline {out}: {e}"),
+        }
+    });
+
     // Per-phase wall times and metric volume.
     print_table(
         "Observability: phase timings",

@@ -21,8 +21,60 @@
 pub mod attackbench;
 pub mod experiments;
 pub mod parbench;
+pub mod ratchet;
 pub mod report;
 pub mod servebench;
+pub mod tracebench;
+
+/// Provenance stamped into every `BENCH_*.json` artifact: the machine's
+/// hardware thread count plus a commit-ish and run timestamp *passed in by
+/// the caller* (via `MBP_BENCH_COMMIT` / `MBP_BENCH_TIME`). The baselines
+/// never read `SystemTime::now` themselves, so regenerating a baseline is
+/// a pure function of its inputs and the stamped environment.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// `std::thread::available_parallelism()` on the generating machine.
+    pub hardware_threads: usize,
+    /// Commit-ish the artifact was generated from (`"unknown"` when unset).
+    pub commit: String,
+    /// Caller-supplied run timestamp (`"unknown"` when unset).
+    pub generated_at: String,
+}
+
+/// Keeps a stamped string JSON-safe without an escaping pass: only commit
+/// hashes, refs, and RFC-3339-style timestamps survive.
+fn sanitize_stamp(s: &str) -> String {
+    let cleaned: String = s
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || "-_.:+TZ ".contains(*c))
+        .take(64)
+        .collect();
+    if cleaned.is_empty() {
+        "unknown".to_string()
+    } else {
+        cleaned
+    }
+}
+
+impl RunMeta {
+    /// Reads the stamp from `MBP_BENCH_COMMIT` and `MBP_BENCH_TIME`.
+    pub fn from_env() -> Self {
+        RunMeta {
+            hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            commit: sanitize_stamp(&std::env::var("MBP_BENCH_COMMIT").unwrap_or_default()),
+            generated_at: sanitize_stamp(&std::env::var("MBP_BENCH_TIME").unwrap_or_default()),
+        }
+    }
+
+    /// The stamp as JSON object fields (no surrounding braces), indented
+    /// two spaces and ending with a trailing comma + newline.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "  \"hardware_threads\": {},\n  \"commit\": \"{}\",\n  \"generated_at\": \"{}\",\n",
+            self.hardware_threads, self.commit, self.generated_at
+        )
+    }
+}
 
 /// Experiment-scale configuration.
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,690 @@
+//! Bench ratchet: diffs a fresh `BENCH_*.json` against the committed
+//! baseline and fails when the numbers stop improving.
+//!
+//! The ratchet is one-directional with tolerance bands:
+//!
+//! * **Ratio metrics** (`table_speedup_vs_scan`, `batch_speedup_vs_single`,
+//!   `factor_cache_speedup`) are same-process measurement ratios and
+//!   therefore largely machine-independent. They must not fall below
+//!   `baseline × (1 − ratio_tolerance)`; the default band is 15%.
+//! * **Absolute latencies** (per-workload `p99_micros`) and throughputs
+//!   (per-phase `units_per_sec`) depend on the machine. They must not
+//!   regress beyond `baseline × (1 ± p99_tolerance)`; the default band is
+//!   100% (a gross-regression guard — absolute timings on shared or
+//!   single-core runners are noisy) and `MBP_RATCHET_TOL` adjusts it.
+//! * **Invariants** (`deterministic`, `clean`, `table_matches_scan`) must
+//!   hold in the fresh run unconditionally — no tolerance.
+//!
+//! Artifacts are parsed with a small self-contained JSON reader (the
+//! workspace is dependency-free), so the comparator accepts any
+//! conforming document, not just the exact strings our emitters produce.
+
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (number, string, bool, null, array, or object).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A JSON number (always held as `f64`).
+    Num(f64),
+    /// A JSON string (escapes decoded).
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with sorted keys.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Field lookup on objects; `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("json parse error at byte {}: {what}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected literal '{lit}'")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or_else(|| self.err("short \\u escape"))?;
+                            let v = (d as char)
+                                .to_digit(16)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code * 16 + v;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences byte-by-byte.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let mut end = self.pos;
+                        while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                            end += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..end])
+                                .map_err(|_| self.err("invalid utf-8"))?,
+                        );
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    map.insert(key, val);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Json::Obj(map)),
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Json::Arr(items)),
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Json`] value.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after document"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Comparator
+// ---------------------------------------------------------------------------
+
+/// Tolerance bands for the ratchet.
+#[derive(Debug, Clone, Copy)]
+pub struct RatchetConfig {
+    /// Allowed relative drop on machine-independent ratio metrics.
+    pub ratio_tolerance: f64,
+    /// Allowed relative regression on absolute latencies / throughputs.
+    pub p99_tolerance: f64,
+}
+
+impl Default for RatchetConfig {
+    fn default() -> Self {
+        RatchetConfig {
+            ratio_tolerance: 0.15,
+            p99_tolerance: 1.00,
+        }
+    }
+}
+
+impl RatchetConfig {
+    /// Default bands, with `MBP_RATCHET_TOL` (a float, e.g. `1.0` = 100%)
+    /// widening the absolute-latency band for slow or shared runners.
+    pub fn from_env() -> Self {
+        let mut cfg = RatchetConfig::default();
+        if let Ok(s) = std::env::var("MBP_RATCHET_TOL") {
+            if let Ok(v) = s.parse::<f64>() {
+                if v.is_finite() && v >= 0.0 {
+                    cfg.p99_tolerance = v;
+                }
+            }
+        }
+        cfg
+    }
+}
+
+/// One ratchet comparison: a metric, both values, and the verdict.
+#[derive(Debug, Clone)]
+pub struct RatchetCheck {
+    /// Metric path, e.g. `workloads.serve-into.p99_micros`.
+    pub metric: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub fresh: f64,
+    /// Whether the fresh value is within the tolerance band.
+    pub ok: bool,
+}
+
+/// The full ratchet verdict for one artifact pair.
+#[derive(Debug, Clone, Default)]
+pub struct RatchetReport {
+    /// Every comparison performed.
+    pub checks: Vec<RatchetCheck>,
+    /// Human-readable failure descriptions (empty means pass).
+    pub failures: Vec<String>,
+}
+
+impl RatchetReport {
+    /// True when no check failed.
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn ratio_floor(&mut self, metric: &str, baseline: f64, fresh: f64, tol: f64) {
+        let floor = baseline * (1.0 - tol);
+        let ok = fresh >= floor;
+        self.checks.push(RatchetCheck {
+            metric: metric.to_string(),
+            baseline,
+            fresh,
+            ok,
+        });
+        if !ok {
+            self.failures.push(format!(
+                "{metric} regressed: fresh {fresh:.4} < floor {floor:.4} (baseline {baseline:.4}, tol {tol:.2})"
+            ));
+        }
+    }
+
+    fn latency_ceiling(&mut self, metric: &str, baseline: f64, fresh: f64, tol: f64) {
+        let ceiling = baseline * (1.0 + tol);
+        let ok = fresh <= ceiling;
+        self.checks.push(RatchetCheck {
+            metric: metric.to_string(),
+            baseline,
+            fresh,
+            ok,
+        });
+        if !ok {
+            self.failures.push(format!(
+                "{metric} regressed: fresh {fresh:.3} > ceiling {ceiling:.3} (baseline {baseline:.3}, tol {tol:.2})"
+            ));
+        }
+    }
+
+    fn invariant(&mut self, metric: &str, holds: bool) {
+        self.checks.push(RatchetCheck {
+            metric: metric.to_string(),
+            baseline: 1.0,
+            fresh: if holds { 1.0 } else { 0.0 },
+            ok: holds,
+        });
+        if !holds {
+            self.failures
+                .push(format!("{metric} must hold in the fresh run"));
+        }
+    }
+
+    /// One line per failed check, or `ratchet pass (N checks)`.
+    pub fn render(&self) -> String {
+        if self.pass() {
+            format!("ratchet pass ({} checks)", self.checks.len())
+        } else {
+            let mut out = format!(
+                "ratchet FAIL ({} of {} checks):\n",
+                self.failures.len(),
+                self.checks.len()
+            );
+            for f in &self.failures {
+                out.push_str("  - ");
+                out.push_str(f);
+                out.push('\n');
+            }
+            out
+        }
+    }
+}
+
+fn num_field(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn bool_field(doc: &Json, key: &str) -> Result<bool, String> {
+    doc.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing boolean field '{key}'"))
+}
+
+/// Indexes an array of named objects (`workloads` / `phases`) by `name`.
+fn by_name<'j>(doc: &'j Json, key: &str) -> Result<BTreeMap<String, &'j Json>, String> {
+    let arr = doc
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field '{key}'"))?;
+    let mut map = BTreeMap::new();
+    for item in arr {
+        let name = item
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("'{key}' entry without a name"))?;
+        map.insert(name.to_string(), item);
+    }
+    Ok(map)
+}
+
+/// Diffs a fresh `BENCH_serving.json` against the committed baseline.
+pub fn compare_serving(
+    baseline_json: &str,
+    fresh_json: &str,
+    cfg: &RatchetConfig,
+) -> Result<RatchetReport, String> {
+    let base = parse_json(baseline_json)?;
+    let fresh = parse_json(fresh_json)?;
+    let mut report = RatchetReport::default();
+
+    for metric in [
+        "table_speedup_vs_scan",
+        "batch_speedup_vs_single",
+        "factor_cache_speedup",
+    ] {
+        report.ratio_floor(
+            metric,
+            num_field(&base, metric)?,
+            num_field(&fresh, metric)?,
+            cfg.ratio_tolerance,
+        );
+    }
+    report.invariant(
+        "deterministic",
+        bool_field(&fresh, "deterministic").unwrap_or(false),
+    );
+    report.invariant(
+        "table_matches_scan",
+        bool_field(&fresh, "table_matches_scan").unwrap_or(false),
+    );
+
+    let base_workloads = by_name(&base, "workloads")?;
+    let fresh_workloads = by_name(&fresh, "workloads")?;
+    for (name, base_w) in &base_workloads {
+        let Some(fresh_w) = fresh_workloads.get(name) else {
+            report
+                .failures
+                .push(format!("workload '{name}' missing from fresh run"));
+            continue;
+        };
+        report.latency_ceiling(
+            &format!("workloads.{name}.p99_micros"),
+            num_field(base_w, "p99_micros")?,
+            num_field(fresh_w, "p99_micros")?,
+            cfg.p99_tolerance,
+        );
+    }
+    Ok(report)
+}
+
+/// Diffs a fresh `BENCH_testkit.json` against the committed baseline.
+pub fn compare_testkit(
+    baseline_json: &str,
+    fresh_json: &str,
+    cfg: &RatchetConfig,
+) -> Result<RatchetReport, String> {
+    let base = parse_json(baseline_json)?;
+    let fresh = parse_json(fresh_json)?;
+    let mut report = RatchetReport::default();
+
+    report.invariant("clean", bool_field(&fresh, "clean").unwrap_or(false));
+    report.invariant(
+        "deterministic",
+        bool_field(&fresh, "deterministic").unwrap_or(false),
+    );
+
+    let base_phases = by_name(&base, "phases")?;
+    let fresh_phases = by_name(&fresh, "phases")?;
+    for (name, base_p) in &base_phases {
+        let Some(fresh_p) = fresh_phases.get(name) else {
+            report
+                .failures
+                .push(format!("phase '{name}' missing from fresh run"));
+            continue;
+        };
+        report.ratio_floor(
+            &format!("phases.{name}.units_per_sec"),
+            num_field(base_p, "units_per_sec")?,
+            num_field(fresh_p, "units_per_sec")?,
+            cfg.p99_tolerance,
+        );
+    }
+    Ok(report)
+}
+
+/// Diffs a fresh `BENCH_trace.json` against the tracing overhead budgets:
+/// the serve path must cost ≤ `disabled_budget` with tracing compiled in
+/// but off, and ≤ `enabled_budget` with tracing on.
+pub fn check_trace_overhead(
+    fresh_json: &str,
+    disabled_budget: f64,
+    enabled_budget: f64,
+) -> Result<RatchetReport, String> {
+    let fresh = parse_json(fresh_json)?;
+    let mut report = RatchetReport::default();
+    report.latency_ceiling(
+        "overhead_disabled",
+        disabled_budget,
+        num_field(&fresh, "overhead_disabled")?.max(0.0),
+        0.0,
+    );
+    report.latency_ceiling(
+        "overhead_enabled",
+        enabled_budget,
+        num_field(&fresh, "overhead_enabled")?.max(0.0),
+        0.0,
+    );
+    report.invariant(
+        "deterministic",
+        bool_field(&fresh, "deterministic").unwrap_or(false),
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERVING: &str = include_str!("../../../BENCH_serving.json");
+    const TESTKIT: &str = include_str!("../../../BENCH_testkit.json");
+
+    #[test]
+    fn parser_round_trips_committed_baselines() {
+        let doc = parse_json(SERVING).expect("committed serving baseline parses");
+        assert!(doc.get("table_speedup_vs_scan").is_some());
+        assert_eq!(
+            doc.get("workloads").and_then(Json::as_arr).map(<[_]>::len),
+            Some(7)
+        );
+        let doc = parse_json(TESTKIT).expect("committed testkit baseline parses");
+        assert_eq!(
+            doc.get("phases").and_then(Json::as_arr).map(<[_]>::len),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let doc = parse_json(r#"{"a": [1, -2.5e-1, "x\"\\\n"], "b": {"c": true, "d": null}}"#)
+            .expect("parses");
+        assert_eq!(
+            doc.get("a")
+                .and_then(Json::as_arr)
+                .and_then(|a| a[2].as_str()),
+            Some("x\"\\\n")
+        );
+        assert_eq!(
+            doc.get("b")
+                .and_then(|b| b.get("c"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["{", "{\"a\": }", "[1, 2", "{\"a\": 1} trailing", "\"open"] {
+            assert!(parse_json(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ratchet_passes_on_committed_baselines() {
+        let cfg = RatchetConfig::default();
+        let report = compare_serving(SERVING, SERVING, &cfg).expect("comparable");
+        assert!(report.pass(), "{}", report.render());
+        let report = compare_testkit(TESTKIT, TESTKIT, &cfg).expect("comparable");
+        assert!(report.pass(), "{}", report.render());
+    }
+
+    /// Acceptance: an injected p99 regression beyond tolerance fails the
+    /// ratchet, and the failure names the regressed workload.
+    #[test]
+    fn ratchet_fails_on_injected_p99_regression() {
+        let cfg = RatchetConfig::default();
+        let base = parse_json(SERVING).expect("parses");
+        let serve_into_p99 = base
+            .get("workloads")
+            .and_then(Json::as_arr)
+            .and_then(|ws| {
+                ws.iter()
+                    .find(|w| w.get("name").and_then(Json::as_str) == Some("serve-into"))
+            })
+            .and_then(|w| w.get("p99_micros"))
+            .and_then(Json::as_f64)
+            .expect("serve-into p99 present");
+        let needle = format!("\"p99_micros\": {serve_into_p99:.3}");
+        let poisoned = format!("\"p99_micros\": {:.3}", serve_into_p99 * 10.0);
+        let fresh = SERVING.replacen(&needle, &poisoned, 1);
+        assert_ne!(fresh, SERVING, "injection must change the document");
+        let report = compare_serving(SERVING, &fresh, &cfg).expect("comparable");
+        assert!(!report.pass(), "10x p99 regression must fail the ratchet");
+        assert!(
+            report.failures.iter().any(|f| f.contains("p99_micros")),
+            "failure must name the latency metric: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn ratchet_fails_on_ratio_regression_and_missing_workload() {
+        let cfg = RatchetConfig::default();
+        let base = parse_json(SERVING).expect("parses");
+        let table_speedup = base
+            .get("table_speedup_vs_scan")
+            .and_then(Json::as_f64)
+            .expect("ratio present");
+        let needle = format!("\"table_speedup_vs_scan\": {table_speedup:.4}");
+        let fresh = SERVING
+            .replacen(&needle, "\"table_speedup_vs_scan\": 0.0001", 1)
+            .replacen("pricing-table", "pricing-table-renamed", 1);
+        assert_ne!(fresh, SERVING, "injection must change the document");
+        let report = compare_serving(SERVING, &fresh, &cfg).expect("comparable");
+        assert!(!report.pass());
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("table_speedup_vs_scan")));
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("missing from fresh run")));
+    }
+
+    #[test]
+    fn wider_tolerance_forgives_small_regressions() {
+        let cfg = RatchetConfig {
+            ratio_tolerance: 0.15,
+            p99_tolerance: 0.50,
+        };
+        let base = r#"{"table_speedup_vs_scan": 1.0, "batch_speedup_vs_single": 1.0,
+                       "factor_cache_speedup": 1.0, "deterministic": true,
+                       "table_matches_scan": true,
+                       "workloads": [{"name": "w", "p99_micros": 100.0}]}"#;
+        let fresh = base
+            .replacen(
+                "\"table_speedup_vs_scan\": 1.0",
+                "\"table_speedup_vs_scan\": 0.9",
+                1,
+            )
+            .replacen("\"p99_micros\": 100.0", "\"p99_micros\": 140.0", 1);
+        let report = compare_serving(base, &fresh, &cfg).expect("comparable");
+        assert!(report.pass(), "{}", report.render());
+        let tight = RatchetConfig {
+            ratio_tolerance: 0.05,
+            p99_tolerance: 0.10,
+        };
+        let report = compare_serving(base, &fresh, &tight).expect("comparable");
+        assert!(
+            !report.pass(),
+            "tight tolerance must catch both regressions"
+        );
+    }
+
+    #[test]
+    fn trace_overhead_budgets_are_enforced() {
+        let good = r#"{"overhead_disabled": 0.01, "overhead_enabled": 0.06,
+                       "deterministic": true}"#;
+        let report = check_trace_overhead(good, 0.02, 0.10).expect("comparable");
+        assert!(report.pass(), "{}", report.render());
+        let bad = r#"{"overhead_disabled": 0.01, "overhead_enabled": 0.25,
+                      "deterministic": true}"#;
+        let report = check_trace_overhead(bad, 0.02, 0.10).expect("comparable");
+        assert!(!report.pass(), "blown enabled budget must fail");
+    }
+}

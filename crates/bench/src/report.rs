@@ -90,6 +90,7 @@ mod tests {
             counters: vec![("mbp.test.count".into(), 3)],
             gauges: vec![("mbp.test.gauge".into(), 1.5)],
             histograms: Vec::new(),
+            labeled: Vec::new(),
         };
         print_metrics("populated", &snap); // smoke: must not panic
     }

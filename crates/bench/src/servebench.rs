@@ -53,6 +53,8 @@ pub struct ServingWorkload {
 /// The full serving baseline.
 #[derive(Debug, Clone)]
 pub struct ServingBaseline {
+    /// Machine + commit + timestamp provenance stamp.
+    pub meta: crate::RunMeta,
     /// Knots in the benchmark pricing grid.
     pub grid_points: usize,
     /// Model dimension of the listed instance.
@@ -342,6 +344,7 @@ pub fn run(quotes: usize) -> ServingBaseline {
     let deterministic = workloads.iter().all(|w| w.deterministic) && table_matches_scan;
 
     ServingBaseline {
+        meta: crate::RunMeta::from_env(),
         grid_points: GRID_POINTS,
         model_dim: 5,
         workloads,
@@ -358,6 +361,7 @@ impl ServingBaseline {
     /// (`BENCH_serving.json`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str(&self.meta.json_fields());
         out.push_str(&format!("  \"grid_points\": {},\n", self.grid_points));
         out.push_str(&format!("  \"model_dim\": {},\n", self.model_dim));
         out.push_str(&format!(
@@ -417,6 +421,9 @@ mod tests {
         let b = run(256);
         let json = b.to_json();
         for key in [
+            "\"hardware_threads\"",
+            "\"commit\"",
+            "\"generated_at\"",
             "\"grid_points\"",
             "\"table_speedup_vs_scan\"",
             "\"batch_speedup_vs_single\"",

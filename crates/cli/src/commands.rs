@@ -89,6 +89,11 @@ COMMANDS:
                                         quote path (publishes a compiled
                                         listing; deterministic in the seed
                                         at any batch size)
+  trace     [--buyers N] [--seed S] run a traced synthetic selling season
+            [--grid lo,hi,n]        and dump the flight recorder: span
+            [--slow-threshold-us T] summary, tail-latency exemplars (with
+            [--out TRACE_JSON]      replay seeds), and the Chrome
+            [--jsonl SPANS_JSONL]   trace_event JSON (inline unless --out)
   predict   --model MODEL_TSV     score a CSV with a saved model instance
             --csv F
   lint      [--root DIR]          static-analysis pass over the workspace
@@ -101,7 +106,14 @@ GLOBAL FLAGS (every command):
   --threads N          thread-pool size for parallel hot paths (default:
                        MBP_THREADS env var, else the hardware parallelism)
   --metrics-out PATH   write a JSON metrics snapshot after the command
-  --trace              record span/trace events, appended to the report
+  --trace              record span/trace events (appended to the report)
+                       and enable causal request tracing + the flight
+                       recorder for the command
+  --trace-out PATH     write the flight recorder as Chrome trace_event
+                       JSON after the command (implies tracing)
+  --slow-threshold-us N  spans at or above N microseconds are kept as
+                       tail-latency exemplars with their replay seed and
+                       full child tree (default 1000)
   --verbose            record debug-level events as well (including the
                        effective thread-pool size)
 
@@ -121,13 +133,21 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let trace = args.get_bool("trace");
     let verbose = args.get_bool("verbose");
     let metrics_out = args.get("metrics-out");
-    if trace || verbose || metrics_out.is_some() {
+    let trace_out = args.get("trace-out");
+    if trace || verbose || metrics_out.is_some() || trace_out.is_some() {
         mbp_obs::enable();
         if trace {
             mbp_obs::set_verbosity(mbp_obs::Verbosity::Trace);
         } else if verbose {
             mbp_obs::set_verbosity(mbp_obs::Verbosity::Debug);
         }
+    }
+    // `--trace` / `--trace-out` arm causal tracing: every quote/buy/publish
+    // gets a span context, and spans at or above `--slow-threshold-us` are
+    // kept as replayable exemplars.
+    if trace || trace_out.is_some() {
+        mbp_obs::set_slow_threshold_micros(args.get_u64("slow-threshold-us", 1_000)?);
+        mbp_obs::set_tracing(true);
     }
     // `--threads N` overrides MBP_THREADS (which mbp-par reads itself).
     if let Some(raw) = args.get("threads") {
@@ -149,6 +169,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         );
     }
     let mut result = dispatch(args);
+    if let Some(path) = trace_out {
+        let spans = mbp_obs::recorder_snapshot();
+        let json = mbp_obs::recorder_to_chrome_trace(&spans);
+        if let Err(e) = std::fs::write(path, json) {
+            result = result.and(Err(CliError::Data(format!("writing {path}: {e}"))));
+        }
+    }
     if let Some(path) = metrics_out {
         let json = mbp_obs::to_json(&mbp_obs::snapshot());
         if let Err(e) = std::fs::write(path, json) {
@@ -178,6 +205,7 @@ fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("attack") => cmd_attack(args),
         Some("sell") => cmd_sell(args),
         Some("simulate") => cmd_simulate(args),
+        Some("trace") => cmd_trace(args),
         Some("predict") => cmd_predict(args),
         Some("lint") => cmd_lint(args),
         Some(other) => Err(CliError::UnknownCommand(other.to_string())),
@@ -725,6 +753,110 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `mbp-market trace`: run a deterministic synthetic selling season with
+/// causal tracing armed and dump the flight recorder.
+///
+/// The season is the same sharded Monte-Carlo market `simulate --sharded`
+/// runs (so span contexts cross `mbp-par` worker threads), with the slow
+/// threshold applied so tail-latency quotes are kept as exemplars carrying
+/// their replay seed. The report lists the span/trace counts and every
+/// exemplar; the full recorder dump is emitted as Chrome trace_event JSON
+/// (inline, or to `--out`) and optionally as JSONL (`--jsonl`).
+fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    use mbp_core::error::SquareLossTransform;
+    use mbp_core::market::simulation::{simulate_market_sharded, SimulationConfig};
+    use mbp_core::market::{Broker, Seller};
+
+    let seed = args.get_u64("seed", 7)?;
+    let buyers = args.get_usize("buyers", 300)?;
+    let threshold_us = args.get_u64("slow-threshold-us", 1_000)?;
+    let kind = match args.get("model") {
+        Some(raw) => parse_model(raw)?,
+        None => mbp_ml::ModelKind::LinearRegression,
+    };
+    mbp_obs::enable();
+    mbp_obs::set_slow_threshold_micros(threshold_us);
+    mbp_obs::set_tracing(true);
+
+    let mut rng = seeded_rng(seed);
+    let ds = mbp_data::synth::simulated1(600, 4, 0.5, &mut rng);
+    let tt = ds.split(0.75, &mut rng);
+    let grid = args.get_grid("grid", (10.0, 100.0, 10))?;
+    let seller = Seller::new(
+        tt.clone(),
+        grid,
+        parse_value_curve(args)?,
+        parse_demand_curve(args)?,
+    );
+    let mut broker = Broker::new(tt);
+    broker
+        .support(kind, args.get_f64("ridge", 1e-6)?)
+        .map_err(|e| CliError::Market(e.to_string()))?;
+    let pricing = solve_bv_dp_fair(&seller.buyer_population(), 0.0).pricing;
+    let outcome = simulate_market_sharded(
+        &mut broker,
+        &seller,
+        kind,
+        &pricing,
+        &SquareLossTransform,
+        SimulationConfig {
+            n_buyers: buyers,
+            valuation_jitter: args.get_f64("jitter", 0.0)?,
+        },
+        seed ^ 0x5a4d,
+    )
+    .map_err(|e| CliError::Market(e.to_string()))?;
+
+    let spans = mbp_obs::recorder_snapshot();
+    let exemplars = mbp_obs::exemplars();
+    let quote_traces: std::collections::BTreeSet<u32> = spans
+        .iter()
+        .filter(|s| s.name == "mbp.core.buy")
+        .map(|s| s.trace)
+        .collect();
+
+    let mut out = String::new();
+    writeln!(out, "buyers\t{buyers}").unwrap();
+    writeln!(out, "served\t{}", outcome.served).unwrap();
+    writeln!(out, "declined\t{}", outcome.declined).unwrap();
+    writeln!(out, "spans\t{}", spans.len()).unwrap();
+    writeln!(out, "quote_traces\t{}", quote_traces.len()).unwrap();
+    writeln!(out, "slow_threshold_us\t{threshold_us}").unwrap();
+    writeln!(out, "exemplars\t{}", exemplars.len()).unwrap();
+    for ex in &exemplars {
+        writeln!(
+            out,
+            "  exemplar\tseed={}\tdur_us={:.1}\t{}({},{})\tchildren={}",
+            ex.root.seed,
+            ex.root.dur_nanos as f64 / 1_000.0,
+            ex.root.name,
+            ex.root.listing,
+            ex.root.mechanism,
+            ex.children.len()
+        )
+        .unwrap();
+    }
+
+    if let Some(path) = args.get("jsonl") {
+        std::fs::write(path, mbp_obs::recorder_to_jsonl(&spans))
+            .map_err(|e| CliError::Data(format!("writing {path}: {e}")))?;
+        writeln!(out, "jsonl_out\t{path}").unwrap();
+    }
+    let chrome = mbp_obs::recorder_to_chrome_trace(&spans);
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, chrome)
+                .map_err(|e| CliError::Data(format!("writing {path}: {e}")))?;
+            writeln!(out, "trace_out\t{path}").unwrap();
+        }
+        None => {
+            out.push_str("── chrome-trace ──\n");
+            out.push_str(&chrome);
+        }
+    }
+    Ok(out)
+}
+
 fn cmd_predict(args: &Args) -> Result<String, CliError> {
     let model_path = args.require("model")?;
     let file = std::fs::File::open(model_path)
@@ -1060,6 +1192,50 @@ mod tests {
         let out = run(&argv("simulate --buyers 50 --seed 13 --trace")).unwrap();
         assert!(out.contains("── events ──"), "{out}");
         assert!(out.contains("\"target\""), "{out}");
+    }
+
+    #[test]
+    fn trace_command_emits_chrome_trace_and_exemplars() {
+        let _guard = EVENTS_LOCK.lock().unwrap();
+        let out = run(&argv("trace --buyers 60 --seed 19 --slow-threshold-us 0")).unwrap();
+        mbp_obs::set_tracing(false);
+        mbp_obs::set_slow_threshold_micros(1_000);
+        assert!(out.contains("quote_traces\t"), "{out}");
+        let quote_traces: usize = out
+            .lines()
+            .find(|l| l.starts_with("quote_traces"))
+            .and_then(|l| l.split('\t').nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(quote_traces > 0, "{out}");
+        // Threshold zero plants every root as slow: exemplars carry seeds.
+        assert!(out.contains("exemplar\tseed="), "{out}");
+        // The inline dump is Chrome trace_event JSON.
+        assert!(out.contains("── chrome-trace ──"), "{out}");
+        assert!(out.contains("\"traceEvents\""), "{out}");
+        assert!(out.contains("\"ph\": \"X\""), "{out}");
+        assert!(out.contains("mbp.core.buy"), "{out}");
+    }
+
+    #[test]
+    fn trace_out_flag_writes_chrome_trace_file() {
+        let _guard = EVENTS_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("mbp-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("season-trace.json");
+        std::fs::remove_file(&path).ok();
+        run(&argv(&format!(
+            "simulate --buyers 40 --seed 29 --sharded --trace --trace-out {}",
+            path.display()
+        )))
+        .unwrap();
+        mbp_obs::set_tracing(false);
+        mbp_obs::set_slow_threshold_micros(1_000);
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("mbp.core.buy"), "{json}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -12,6 +12,17 @@ use mbp_randx::MbpRng;
 use std::collections::HashMap;
 use std::fmt;
 
+/// Static trace label for a model kind (the `listing` dimension of the
+/// `(listing, mechanism, phase)` latency attribution; no per-quote
+/// allocation).
+pub(crate) fn kind_label(kind: ModelKind) -> &'static str {
+    match kind {
+        ModelKind::LinearRegression => "linear_regression",
+        ModelKind::LogisticRegression => "logistic_regression",
+        ModelKind::LinearSvm => "linear_svm",
+    }
+}
+
 /// Errors raised by market interactions.
 #[derive(Debug)]
 pub enum MarketError {
@@ -302,6 +313,8 @@ impl Broker {
         pricing: PricingFunction,
         transform: Box<dyn ErrorTransform + Send + Sync>,
     ) -> Result<(), MarketError> {
+        let _trace =
+            mbp_obs::trace_root_hinted("mbp.core.publish", kind_label(kind), self.mechanism.name());
         if !self.menu.contains_key(&kind) {
             mbp_obs::inc("mbp.core.publish.rejected");
             return Err(MarketError::UnsupportedModel(kind));
@@ -336,7 +349,10 @@ impl Broker {
         rng: &mut MbpRng,
     ) -> Result<Sale, MarketError> {
         let _span = mbp_obs::span("mbp.core.buy");
+        let trace =
+            mbp_obs::trace_root_hinted("mbp.core.buy", kind_label(kind), self.mechanism.name());
         let result = (|| {
+            let lookup = trace.phase(mbp_obs::Phase::Lookup);
             let listing = self
                 .listings
                 .get(&kind)
@@ -345,6 +361,7 @@ impl Broker {
                 .menu
                 .get(&kind)
                 .ok_or(MarketError::UnsupportedModel(kind))?;
+            drop(lookup);
             mbp_obs::inc("mbp.core.pricing.table_hit");
             let (sale, tx) = execute_purchase(
                 entry,
@@ -355,8 +372,11 @@ impl Broker {
                 kind,
                 request,
                 rng,
+                &trace,
             )?;
+            let ledger = trace.phase(mbp_obs::Phase::Ledger);
             self.ledger.push(tx);
+            drop(ledger);
             Ok(sale)
         })();
         record_purchase_outcome(result.as_ref());
@@ -376,7 +396,10 @@ impl Broker {
         sale: &mut Sale,
     ) -> Result<(), MarketError> {
         let _span = mbp_obs::span("mbp.core.buy");
+        let trace =
+            mbp_obs::trace_root_hinted("mbp.core.buy", kind_label(kind), self.mechanism.name());
         let result = (|| {
+            let lookup = trace.phase(mbp_obs::Phase::Lookup);
             let listing = self
                 .listings
                 .get(&kind)
@@ -385,6 +408,7 @@ impl Broker {
                 .menu
                 .get(&kind)
                 .ok_or(MarketError::UnsupportedModel(kind))?;
+            drop(lookup);
             mbp_obs::inc("mbp.core.pricing.table_hit");
             let tx = execute_purchase_into(
                 entry,
@@ -396,8 +420,11 @@ impl Broker {
                 request,
                 rng,
                 sale,
+                &trace,
             )?;
+            let ledger = trace.phase(mbp_obs::Phase::Ledger);
             self.ledger.push(tx);
+            drop(ledger);
             Ok(())
         })();
         match &result {
@@ -423,6 +450,14 @@ impl Broker {
         rng: &mut MbpRng,
     ) -> Result<QuoteBatch, MarketError> {
         let _span = mbp_obs::span("mbp.core.buy_batch");
+        // The whole batch is driven by one RNG, so every per-request trace
+        // root carries the batch's replay seed: a slow quote anywhere in
+        // the batch is replayed by re-running the batch from that seed.
+        let batch_seed = if mbp_obs::is_tracing() {
+            mbp_obs::trace::take_request_seed()
+        } else {
+            0
+        };
         let listing = self
             .listings
             .get(&kind)
@@ -437,6 +472,12 @@ impl Broker {
         let mut served = 0u64;
         let mut revenue = 0.0;
         for &request in requests {
+            let trace = mbp_obs::trace_root(
+                "mbp.core.buy",
+                kind_label(kind),
+                self.mechanism.name(),
+                batch_seed,
+            );
             let r = execute_purchase(
                 entry,
                 self.mechanism.as_ref(),
@@ -446,6 +487,7 @@ impl Broker {
                 kind,
                 request,
                 rng,
+                &trace,
             );
             if let Ok((sale, _)) = &r {
                 served += 1;
@@ -667,11 +709,15 @@ impl Broker {
         rng: &mut MbpRng,
     ) -> Result<(Sale, Transaction), MarketError> {
         let _span = mbp_obs::span("mbp.core.buy");
+        let trace =
+            mbp_obs::trace_root_hinted("mbp.core.buy", kind_label(kind), self.mechanism.name());
         let result = (|| {
+            let lookup = trace.phase(mbp_obs::Phase::Lookup);
             let entry = self
                 .menu
                 .get(&kind)
                 .ok_or(MarketError::UnsupportedModel(kind))?;
+            drop(lookup);
             mbp_obs::inc("mbp.core.pricing.table_miss");
             execute_purchase(
                 entry,
@@ -682,6 +728,7 @@ impl Broker {
                 kind,
                 request,
                 rng,
+                &trace,
             )
         })();
         record_purchase_outcome(result.as_ref().map(|(sale, _)| sale));
@@ -823,11 +870,17 @@ fn execute_purchase(
     kind: ModelKind,
     request: PurchaseRequest,
     rng: &mut MbpRng,
+    trace: &mbp_obs::TraceRoot,
 ) -> Result<(Sale, Transaction), MarketError> {
-    let ncp = resolve_ncp(pricing, phi, transform, request)?;
+    let ncp = {
+        let _p = trace.phase(mbp_obs::Phase::PhiInversion);
+        resolve_ncp(pricing, phi, transform, request)?
+    };
     let price = pricing.price_for_ncp(ncp);
+    let noise = trace.phase(mbp_obs::Phase::Noise);
     let weights = mechanism.perturb(entry.model.weights(), ncp, rng);
     let model = entry.model.with_weights(weights);
+    drop(noise);
     Ok((
         Sale {
             model,
@@ -853,14 +906,20 @@ fn execute_purchase_into(
     request: PurchaseRequest,
     rng: &mut MbpRng,
     sale: &mut Sale,
+    trace: &mbp_obs::TraceRoot,
 ) -> Result<Transaction, MarketError> {
     let pricing = PricePath::Table(table);
-    let ncp = resolve_ncp(&pricing, Some(phi), transform, request)?;
+    let ncp = {
+        let _p = trace.phase(mbp_obs::Phase::PhiInversion);
+        resolve_ncp(&pricing, Some(phi), transform, request)?
+    };
     let price = pricing.price_for_ncp(ncp);
     if sale.model.kind() != kind || sale.model.dim() != entry.model.dim() {
         sale.model = entry.model.clone();
     }
+    let noise = trace.phase(mbp_obs::Phase::Noise);
     mechanism.perturb_into(entry.model.weights(), ncp, rng, sale.model.weights_mut());
+    drop(noise);
     sale.price = price;
     sale.ncp = ncp;
     sale.expected_error = transform.expected_error(ncp);

@@ -19,7 +19,7 @@
 //! strictly less contention on the same workload.
 
 use crate::error::ErrorTransform;
-use crate::market::agents::{Broker, MarketError, PurchaseRequest, Sale, Transaction};
+use crate::market::agents::{kind_label, Broker, MarketError, PurchaseRequest, Sale, Transaction};
 use crate::pricing::PricingFunction;
 use mbp_ml::ModelKind;
 use mbp_randx::MbpRng;
@@ -72,8 +72,13 @@ impl SharedBroker {
     }
 
     /// Picks the next ledger stripe round-robin and locks it, counting a
-    /// contended acquisition when the uncontended `try_lock` fails.
-    fn lock_next_stripe(&self) -> parking_lot::MutexGuard<'_, Vec<Transaction>> {
+    /// contended acquisition when the uncontended `try_lock` fails. The
+    /// blocking wait on a contended stripe is attributed to the `lock_wait`
+    /// trace phase under `label` (the listing being purchased).
+    fn lock_next_stripe(
+        &self,
+        label: &'static str,
+    ) -> parking_lot::MutexGuard<'_, Vec<Transaction>> {
         let idx = self.inner.next_stripe.fetch_add(1, Ordering::Relaxed) % LEDGER_STRIPES;
         // LINT-ALLOW(panic): idx < LEDGER_STRIPES by the modulo above.
         let stripe = &self.inner.stripes[idx];
@@ -81,6 +86,7 @@ impl SharedBroker {
             Some(g) => g,
             None => {
                 self.note_contention();
+                let _wait = mbp_obs::phase_for(mbp_obs::Phase::LockWait, label, "-");
                 stripe.lock()
             }
         }
@@ -120,12 +126,14 @@ impl SharedBroker {
                 Some(g) => g,
                 None => {
                     self.note_contention();
+                    let _wait = mbp_obs::phase_for(mbp_obs::Phase::LockWait, kind_label(kind), "-");
                     self.inner.core.read()
                 }
             };
             core.quote_batch(kind, requests, rng)?
         };
-        let mut guard = self.lock_next_stripe();
+        let _settle = mbp_obs::phase_for(mbp_obs::Phase::Ledger, kind_label(kind), "-");
+        let mut guard = self.lock_next_stripe(kind_label(kind));
         Ok(results
             .into_iter()
             .map(|r| {
@@ -157,12 +165,16 @@ impl SharedBroker {
                 Some(g) => g,
                 None => {
                     self.note_contention();
+                    let _wait = mbp_obs::phase_for(mbp_obs::Phase::LockWait, kind_label(kind), "-");
                     self.inner.core.read()
                 }
             };
             core.quote(kind, request, pricing, transform, rng)?
         };
-        self.lock_next_stripe().push(tx);
+        {
+            let _settle = mbp_obs::phase_for(mbp_obs::Phase::Ledger, kind_label(kind), "-");
+            self.lock_next_stripe(kind_label(kind)).push(tx);
+        }
         Ok(sale)
     }
 

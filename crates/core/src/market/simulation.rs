@@ -215,6 +215,10 @@ pub fn simulate_market_batched(
                 declined += 1;
             }
         }
+        // The whole batched season is a pure function of `master_seed`, so
+        // every batch's traces carry it as the replay seed: re-running the
+        // season from a slow exemplar's seed reproduces the quote.
+        mbp_obs::set_request_seed(master_seed);
         for result in broker.buy_batch(kind, &requests, &mut noise_rng)? {
             result?;
             served += 1;
@@ -324,6 +328,9 @@ pub fn simulate_market_sharded(
                 };
                 let price = pricing.price_at(point.a);
                 if price <= valuation + 1e-12 {
+                    // A slow quote replays by re-running its whole shard
+                    // (the shard RNG is shared by every buyer in it).
+                    mbp_obs::set_request_seed(shard_seeds[shard_index]);
                     let (sale, tx) = broker.quote(
                         kind,
                         PurchaseRequest::AtNcp(1.0 / point.a),

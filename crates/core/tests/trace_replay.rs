@@ -1,0 +1,177 @@
+//! End-to-end causal-tracing acceptance tests: a planted slow quote lands
+//! in the flight recorder as an exemplar carrying its replay seed, and
+//! re-running the request from that seed reproduces both the released
+//! model and the canonical span tree; sharded simulation emits identical
+//! span trees at every thread count.
+//!
+//! Obs state is process-global, so every test here serializes on one lock
+//! (this integration binary is its own process — the core unit tests can
+//! never interleave with it).
+
+use mbp_core::error::SquareLossTransform;
+use mbp_core::market::curves::{grid, DemandCurve, DemandShape, ValueCurve, ValueShape};
+use mbp_core::market::simulation::{simulate_market_sharded, SimulationConfig};
+use mbp_core::market::{Broker, PurchaseRequest, Sale, Seller};
+use mbp_core::PricingFunction;
+use mbp_ml::ModelKind;
+use mbp_randx::seeded_rng;
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn arm() {
+    mbp_obs::reset();
+    mbp_obs::enable();
+    mbp_obs::set_tracing(true);
+}
+
+fn disarm() {
+    mbp_obs::set_tracing(false);
+    mbp_obs::disable();
+    mbp_obs::set_slow_threshold_micros(u64::MAX / 1000);
+    mbp_obs::reset();
+}
+
+fn pricing() -> PricingFunction {
+    let g: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+    let p: Vec<f64> = g.iter().map(|x| 8.0 * x.sqrt()).collect();
+    PricingFunction::from_points(g, p).unwrap()
+}
+
+fn listed_broker(seed: u64) -> Broker {
+    let mut rng = seeded_rng(seed);
+    let data = mbp_data::synth::simulated1(400, 4, 0.5, &mut rng).split(0.75, &mut rng);
+    let mut broker = Broker::new(data);
+    broker.support(ModelKind::LinearRegression, 1e-6).unwrap();
+    broker
+        .publish(
+            ModelKind::LinearRegression,
+            pricing(),
+            Box::new(SquareLossTransform),
+        )
+        .unwrap();
+    broker
+}
+
+/// Acceptance: with the slow threshold at zero, a listed quote is planted
+/// as "slow"; its exemplar carries the request seed and the full child
+/// tree, and replaying from that seed reproduces the identical released
+/// weights and canonical span tree.
+#[test]
+fn slow_quote_exemplar_carries_seed_and_replays_identically() {
+    let _g = serial();
+    arm();
+    mbp_obs::set_slow_threshold_micros(0);
+    let mut broker = listed_broker(51);
+    let run = |broker: &mut Broker, seed: u64| -> Sale {
+        let mut rng = seeded_rng(seed);
+        mbp_obs::set_request_seed(seed);
+        broker
+            .buy_listed(
+                ModelKind::LinearRegression,
+                PurchaseRequest::ErrorBudget(1.5),
+                &mut rng,
+            )
+            .unwrap()
+    };
+    let first = run(&mut broker, 777_001);
+
+    let exemplars = mbp_obs::exemplars();
+    let ex = exemplars
+        .iter()
+        .find(|e| e.root.seed == 777_001)
+        .expect("planted slow quote must be captured as an exemplar");
+    assert_eq!(ex.root.name, "mbp.core.buy");
+    assert_eq!(ex.root.listing, "linear_regression");
+    assert_eq!(ex.root.mechanism, "gaussian");
+    assert!(
+        !ex.children.is_empty(),
+        "exemplar must retain the child span tree"
+    );
+    let mut captured = ex.children.clone();
+    captured.push(ex.root.clone());
+    let captured_tree = mbp_obs::canonical_tree(&captured, ex.root.trace);
+    for phase in ["lookup", "phi_inversion", "noise", "ledger"] {
+        assert!(
+            captured_tree.contains(phase),
+            "phase {phase} missing from {captured_tree}"
+        );
+    }
+
+    // Replay from the exemplar's seed: identical release, identical tree.
+    let replay_seed = ex.root.seed;
+    mbp_obs::reset();
+    let second = run(&mut broker, replay_seed);
+    assert_eq!(first.price, second.price);
+    assert_eq!(first.ncp, second.ncp);
+    assert_eq!(first.model.weights(), second.model.weights());
+    let spans = mbp_obs::recorder_snapshot();
+    let root = spans
+        .iter()
+        .find(|s| s.seed == replay_seed)
+        .expect("replayed root span");
+    let replay_tree = mbp_obs::canonical_tree(&spans, root.trace);
+    assert_eq!(captured_tree, replay_tree);
+    disarm();
+}
+
+/// Satellite: the sharded simulation emits the same multiset of canonical
+/// span trees at 1 and 4 worker threads — the span context follows work
+/// across `mbp-par` and only timings/id assignment may differ.
+#[test]
+fn sharded_simulation_span_trees_match_across_thread_counts() {
+    let _g = serial();
+    let trees_at = |threads: usize| -> Vec<String> {
+        arm();
+        let mut rng = seeded_rng(61);
+        let data = mbp_data::synth::simulated1(500, 4, 0.5, &mut rng).split(0.75, &mut rng);
+        let seller = Seller::new(
+            data.clone(),
+            grid(10.0, 100.0, 8),
+            ValueCurve::new(ValueShape::Concave { power: 2.0 }, 5.0, 100.0),
+            DemandCurve::new(DemandShape::Uniform),
+        );
+        let mut broker = Broker::new(data);
+        broker.support(ModelKind::LinearRegression, 1e-6).unwrap();
+        let pricing = broker.price_from_research(&seller).pricing;
+        let out = mbp_par::with_threads(threads, || {
+            simulate_market_sharded(
+                &mut broker,
+                &seller,
+                ModelKind::LinearRegression,
+                &pricing,
+                &SquareLossTransform,
+                SimulationConfig {
+                    n_buyers: 600,
+                    valuation_jitter: 0.0,
+                },
+                9090,
+            )
+            .unwrap()
+        });
+        assert!(out.served > 0, "some buyers must be served");
+        let spans = mbp_obs::recorder_snapshot();
+        let quote_traces: BTreeSet<u32> = spans
+            .iter()
+            .filter(|s| s.name == "mbp.core.buy")
+            .map(|s| s.trace)
+            .collect();
+        assert_eq!(out.served, quote_traces.len(), "one trace per quote");
+        let mut trees: Vec<String> = quote_traces
+            .iter()
+            .map(|&t| mbp_obs::canonical_tree(&spans, t))
+            .collect();
+        trees.sort();
+        disarm();
+        trees
+    };
+    let one = trees_at(1);
+    let four = trees_at(4);
+    assert_eq!(one, four);
+}

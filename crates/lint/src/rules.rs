@@ -893,4 +893,115 @@ unsafe impl Sync for P {}
             findings(src)
         );
     }
+
+    // ---- tracing-layer idioms (mbp-obs v2) --------------------------------
+    // The span/flight-recorder code keeps all wall-clock reads inside
+    // `crates/obs` and `crates/bench`, which sit outside the `det` scope.
+    // These fixtures pin the boundary: the patterns obs exports into
+    // det-scoped crates stay clean, and the patterns it must NOT leak
+    // (clock reads, HashMap iteration) still flag.
+
+    #[test]
+    fn wall_clock_read_still_flags_in_det_scope() {
+        // Span timing must stay behind the obs API; an `Instant::now()`
+        // smuggled into a pricing crate is a det finding, not a waiver.
+        let src = "fn stamp() -> std::time::Instant { std::time::Instant::now() }";
+        assert!(
+            findings(src).iter().any(|f| f.rule == "det"),
+            "{:?}",
+            findings(src)
+        );
+    }
+
+    #[test]
+    fn thread_local_cell_trace_context_is_clean() {
+        // The trace-context token (`trace << 32 | span`) propagated through
+        // worker threads: thread_local Cell get/replace, no findings.
+        let src = r#"
+thread_local! {
+    static CONTEXT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+fn enter(token: u64) -> u64 {
+    CONTEXT.with(|c| c.replace(token))
+}
+fn current() -> u64 {
+    CONTEXT.with(std::cell::Cell::get)
+}
+"#;
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+    }
+
+    #[test]
+    fn btreemap_iteration_is_allowed_where_hashmap_iteration_flags() {
+        // Labeled histograms key series by (listing, mechanism, phase) in a
+        // BTreeMap precisely so snapshot iteration stays deterministic.
+        let clean = r#"
+use std::collections::BTreeMap;
+fn snapshot(series: &BTreeMap<String, u64>) -> Vec<(String, u64)> {
+    series.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+"#;
+        assert!(
+            findings(clean).iter().all(|f| f.rule != "det"),
+            "{:?}",
+            findings(clean)
+        );
+        let dirty = r#"
+use std::collections::HashMap;
+fn snapshot() -> Vec<(String, u64)> {
+    let series: HashMap<String, u64> = HashMap::new();
+    series.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+"#;
+        assert!(
+            findings(dirty).iter().any(|f| f.rule == "det"),
+            "{:?}",
+            findings(dirty)
+        );
+    }
+
+    #[test]
+    fn phase_guard_before_stripe_lock_is_allowed() {
+        // The concurrent ledger wraps stripe acquisition in a lock-wait
+        // phase guard; the RAII guard binding must not confuse the
+        // ascending-stripe lock-order rule.
+        let src = r#"
+fn f(s: &Shared) {
+    let _wait = mbp_obs::phase(mbp_obs::Phase::LockWait);
+    let a = s.inner.stripes[0].lock();
+    drop(_wait);
+    let _ledger = mbp_obs::phase(mbp_obs::Phase::Ledger);
+    let b = s.inner.stripes[1].lock();
+    let _ = (a, b);
+}
+"#;
+        assert!(
+            findings(src).iter().all(|f| f.rule != "lock"),
+            "{:?}",
+            findings(src)
+        );
+    }
+
+    #[test]
+    fn seqlock_ring_publish_is_clean() {
+        // The flight recorder's seqlock slot protocol: sequence bump,
+        // checked slot access, release store. No unsafe, no unwrap, no
+        // indexing panics — the pattern must pass every rule unwaived.
+        let src = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+struct Slot { seq: AtomicU64, payload: std::sync::Mutex<u64> }
+fn record(slots: &[Slot], cursor: &AtomicU64, value: u64) {
+    let idx = cursor.fetch_add(1, Ordering::Relaxed) as usize % slots.len().max(1);
+    if let Some(slot) = slots.get(idx) {
+        let seq = slot.seq.load(Ordering::Acquire);
+        slot.seq.store(seq.wrapping_add(1), Ordering::Release);
+        if let Ok(mut p) = slot.payload.lock() {
+            *p = value;
+        }
+        slot.seq.store(seq.wrapping_add(2), Ordering::Release);
+    }
+}
+"#;
+        assert!(findings(src).is_empty(), "{:?}", findings(src));
+    }
 }

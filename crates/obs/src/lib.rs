@@ -25,19 +25,34 @@
 
 mod events;
 pub mod export;
+mod recorder;
 mod registry;
 mod span;
+pub mod trace;
 
 pub use events::{
     drain_events, dropped_events, set_verbosity, verbosity, Event, Verbosity, RING_CAPACITY,
 };
-pub use export::{events_to_jsonl, to_json, to_prometheus};
-pub use registry::{HistogramSnapshot, Snapshot, BUCKETS};
+pub use export::{
+    events_to_jsonl, recorder_to_chrome_trace, recorder_to_jsonl, to_json, to_prometheus,
+};
+pub use recorder::{
+    exemplars, recorded_spans, recorder_snapshot, set_slow_threshold_micros, slow_threshold_nanos,
+    Exemplar, SpanData, MAX_EXEMPLARS, RING_SLOTS,
+};
+pub use registry::{
+    HistogramSnapshot, LabeledSeriesSnapshot, Snapshot, BUCKETS, MAX_LABEL_SETS, OVERFLOW_LABEL,
+};
 pub use span::{span, Span};
+pub use trace::{
+    canonical_tree, phase, phase_for, set_request_seed, trace_root, trace_root_hinted, Phase,
+    PhaseGuard, TraceRoot,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACING: AtomicBool = AtomicBool::new(false);
 
 /// Turns recording on or off globally.
 pub fn set_enabled(on: bool) {
@@ -58,6 +73,26 @@ pub fn disable() {
 #[inline(always)]
 pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns causal tracing (span contexts, the flight-recorder ring, labeled
+/// phase histograms) on or off. Tracing additionally requires recording to
+/// be enabled; with tracing off, every `trace_root`/`phase` call is a
+/// single relaxed load plus branch. Enabling installs the `mbp-par`
+/// context-propagation hook and the panic-time flight-recorder dump
+/// (both once per process).
+pub fn set_tracing(on: bool) {
+    if on {
+        trace::install_par_hook();
+        recorder::install_panic_hook();
+    }
+    TRACING.store(on, Ordering::SeqCst);
+}
+
+/// Whether causal tracing is currently active (requires [`is_enabled`]).
+#[inline(always)]
+pub fn is_tracing() -> bool {
+    is_enabled() && TRACING.load(Ordering::Relaxed)
 }
 
 /// Increments the counter `name` by one.
@@ -112,12 +147,16 @@ pub fn snapshot() -> Snapshot {
     registry::snapshot()
 }
 
-/// Clears all metrics and buffered events. The enabled flag and verbosity
-/// level are left as-is, so callers can `reset()` between measurement
-/// phases without re-arming.
+/// Clears all metrics, buffered events, the flight-recorder ring and
+/// exemplars, and rewinds the trace/span id counters. The enabled/tracing
+/// flags, verbosity level, and slow threshold are left as-is, so callers
+/// can `reset()` between measurement phases without re-arming. Quiesce
+/// in-flight traced requests first.
 pub fn reset() {
     registry::reset();
     events::reset();
+    recorder::reset();
+    trace::reset();
 }
 
 #[cfg(test)]

@@ -10,6 +10,15 @@ use std::sync::{Arc, OnceLock};
 /// across 1e-9 .. 1e3), one overflow.
 pub const BUCKETS: usize = 50;
 
+/// Maximum distinct label sets per labeled metric name. Once a metric has
+/// this many series, further label combinations collapse into a single
+/// overflow series whose label values are all [`OVERFLOW_LABEL`], bounding
+/// registry cardinality no matter how many listings a market carries.
+pub const MAX_LABEL_SETS: usize = 64;
+
+/// Label value used for the collapsed overflow series.
+pub const OVERFLOW_LABEL: &str = "<other>";
+
 const LOG_BUCKETS: usize = BUCKETS - 2;
 const LOW: f64 = 1e-9;
 const HIGH: f64 = 1e3;
@@ -187,12 +196,17 @@ pub struct Snapshot {
     pub gauges: Vec<(String, f64)>,
     /// Histogram summaries.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Labeled histogram series, sorted by `(name, labels)`.
+    pub labeled: Vec<LabeledSeriesSnapshot>,
 }
 
 impl Snapshot {
     /// True when no metric of any kind has been registered.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.labeled.is_empty()
     }
 
     /// Value of the counter `name`, if registered.
@@ -212,6 +226,31 @@ impl Snapshot {
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
     }
+
+    /// Summary of the labeled series `name` with exactly `labels`, if
+    /// registered. Label order must match the recording site's order.
+    pub fn labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<&LabeledSeriesSnapshot> {
+        self.labeled.iter().find(|s| {
+            s.name == name
+                && s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (ek, ev))| k == ek && v == ev)
+        })
+    }
+}
+
+/// One series of a labeled histogram: the base metric name, the label
+/// key/value pairs identifying the series, and its histogram summary.
+#[derive(Debug, Clone)]
+pub struct LabeledSeriesSnapshot {
+    /// Base metric name (without labels).
+    pub name: String,
+    /// Label `(key, value)` pairs in recording-site order.
+    pub labels: Vec<(String, String)>,
+    /// Histogram summary for this series.
+    pub hist: HistogramSnapshot,
 }
 
 /// Summary of one histogram: totals, observed range, and interpolated
@@ -250,11 +289,14 @@ impl HistogramSnapshot {
 // BTreeMap keeps registration storage name-ordered, so snapshots and
 // exports are deterministic by construction (hash-order iteration here
 // would reorder JSON/Prometheus output run to run).
+type LabeledFamily = BTreeMap<Vec<(String, String)>, Arc<Histogram>>;
+
 #[derive(Default)]
 struct Inner {
     counters: BTreeMap<String, Arc<Counter>>,
     gauges: BTreeMap<String, Arc<Gauge>>,
     histograms: BTreeMap<String, Arc<Histogram>>,
+    labeled: BTreeMap<String, LabeledFamily>,
 }
 
 fn registry() -> &'static RwLock<Inner> {
@@ -282,6 +324,36 @@ getter!(counter, counters, Counter);
 getter!(gauge, gauges, Gauge);
 getter!(histogram, histograms, Histogram);
 
+/// Handle to the labeled histogram series `name{labels}`. Callers are
+/// expected to cache the returned `Arc` (the trace layer resolves a series
+/// once per `(listing, mechanism)` pair, not once per observation): the
+/// miss path allocates the key and may take the write lock.
+///
+/// Cardinality is bounded: past [`MAX_LABEL_SETS`] series for one name,
+/// new label combinations all share the collapsed overflow series whose
+/// values are [`OVERFLOW_LABEL`].
+pub(crate) fn labeled_histogram(name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    let key: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    if let Some(series) = registry().read().labeled.get(name) {
+        if let Some(h) = series.get(&key) {
+            return h.clone();
+        }
+    }
+    let mut inner = registry().write();
+    let series = inner.labeled.entry(name.to_string()).or_default();
+    if series.contains_key(&key) || series.len() < MAX_LABEL_SETS {
+        return series.entry(key).or_default().clone();
+    }
+    let overflow: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, _)| (k.to_string(), OVERFLOW_LABEL.to_string()))
+        .collect();
+    series.entry(overflow).or_default().clone()
+}
+
 pub(crate) fn snapshot() -> Snapshot {
     let inner = registry().read();
     let counters: Vec<(String, u64)> = inner
@@ -299,10 +371,22 @@ pub(crate) fn snapshot() -> Snapshot {
         .iter()
         .map(|(n, h)| h.snapshot(n))
         .collect();
+    let labeled: Vec<LabeledSeriesSnapshot> = inner
+        .labeled
+        .iter()
+        .flat_map(|(n, series)| {
+            series.iter().map(|(labels, h)| LabeledSeriesSnapshot {
+                name: n.clone(),
+                labels: labels.clone(),
+                hist: h.snapshot(n),
+            })
+        })
+        .collect();
     Snapshot {
         counters,
         gauges,
         histograms,
+        labeled,
     }
 }
 
@@ -311,6 +395,7 @@ pub(crate) fn reset() {
     inner.counters.clear();
     inner.gauges.clear();
     inner.histograms.clear();
+    inner.labeled.clear();
 }
 
 #[cfg(test)]
@@ -408,6 +493,41 @@ mod tests {
         h.observe(-1.0);
         assert_eq!(h.snapshot("t").count, 0);
         assert_eq!(h.snapshot("t").p50, None);
+    }
+
+    #[test]
+    fn labeled_series_cardinality_is_bounded() {
+        let _g = crate::test_support::serial();
+        reset();
+        let name = "mbp.test.labeled.seconds";
+        for i in 0..MAX_LABEL_SETS + 10 {
+            let listing = format!("l{i}");
+            let h = labeled_histogram(name, &[("listing", &listing), ("phase", "lookup")]);
+            h.observe(0.001);
+        }
+        let snap = snapshot();
+        let series: Vec<_> = snap.labeled.iter().filter(|s| s.name == name).collect();
+        assert!(
+            series.len() <= MAX_LABEL_SETS + 1,
+            "cardinality cap breached: {} series",
+            series.len()
+        );
+        let overflow = snap
+            .labeled(
+                name,
+                &[("listing", OVERFLOW_LABEL), ("phase", OVERFLOW_LABEL)],
+            )
+            .expect("overflow series exists");
+        assert_eq!(overflow.hist.count, 10);
+        // Re-resolving an existing series returns the same accumulator.
+        let again = labeled_histogram(name, &[("listing", "l0"), ("phase", "lookup")]);
+        again.observe(0.002);
+        let snap = snapshot();
+        let s = snap
+            .labeled(name, &[("listing", "l0"), ("phase", "lookup")])
+            .expect("series l0");
+        assert_eq!(s.hist.count, 2);
+        reset();
     }
 
     #[test]

@@ -49,6 +49,41 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// Upper bound on configurable thread counts (sanity clamp).
 pub const MAX_THREADS: usize = 256;
 
+/// Task-context propagation hook.
+///
+/// An observability layer may register one process-wide hook to carry a
+/// per-thread context token across [`Scope::spawn`]: `capture` runs on the
+/// submitting thread when the task is enqueued, `enter` runs on the
+/// executing thread immediately before the task body (receiving the
+/// captured token and returning the thread's previous token), and `exit`
+/// runs after the body with that previous token so the executing thread is
+/// restored even when the body panics.
+///
+/// The hook is three plain `fn` pointers so this crate stays free of any
+/// dependency on the layer that installs it.
+#[derive(Clone, Copy)]
+pub struct TaskHook {
+    /// Captures the submitting thread's context token.
+    pub capture: fn() -> u64,
+    /// Installs a captured token on the executing thread; returns the
+    /// token previously installed there.
+    pub enter: fn(u64) -> u64,
+    /// Restores the executing thread's previous token.
+    pub exit: fn(u64),
+}
+
+static TASK_HOOK: OnceLock<TaskHook> = OnceLock::new();
+
+/// Registers the process-wide [`TaskHook`]. The first registration wins;
+/// later calls are ignored (returns whether this call installed the hook).
+pub fn set_task_hook(hook: TaskHook) -> bool {
+    TASK_HOOK.set(hook).is_ok()
+}
+
+fn task_hook() -> Option<&'static TaskHook> {
+    TASK_HOOK.get()
+}
+
 thread_local! {
     static IS_WORKER: Cell<bool> = const { Cell::new(false) };
     static OVERRIDE_THREADS: Cell<usize> = const { Cell::new(0) };
@@ -172,9 +207,17 @@ impl<'env> Scope<'env> {
             *p += 1;
         }
         let shared = Arc::clone(&self.shared);
+        // Capture the submitting thread's context token now so the worker
+        // can re-enter it before running `f` (and restore its own after).
+        let hook = task_hook();
+        let token = hook.map(|h| (h.capture)());
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let prev = hook.zip(token).map(|(h, t)| (h.enter)(t));
             if panic::catch_unwind(AssertUnwindSafe(f)).is_err() {
                 shared.panicked.store(true, Ordering::SeqCst);
+            }
+            if let Some((h, p)) = hook.zip(prev) {
+                (h.exit)(p);
             }
             let mut p = shared.pending.lock().unwrap_or_else(|e| e.into_inner());
             *p -= 1;
@@ -520,5 +563,40 @@ mod tests {
         let pool = ThreadPool::new(2);
         assert_eq!(pool.worker_count(), 2);
         drop(pool); // joins cleanly
+    }
+
+    #[test]
+    fn task_hook_propagates_context_across_spawn() {
+        thread_local! {
+            static TOKEN: Cell<u64> = const { Cell::new(0) };
+        }
+        fn capture() -> u64 {
+            TOKEN.with(|t| t.get())
+        }
+        fn enter(t: u64) -> u64 {
+            TOKEN.with(|c| c.replace(t))
+        }
+        fn exit(p: u64) {
+            TOKEN.with(|c| c.set(p));
+        }
+        set_task_hook(TaskHook {
+            capture,
+            enter,
+            exit,
+        });
+        TOKEN.with(|t| t.set(41));
+        let seen = Mutex::new(Vec::new());
+        with_threads(4, || {
+            par_for(64, 1, |_| {
+                seen.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(TOKEN.with(|t| t.get()));
+            });
+        });
+        let seen = seen.into_inner().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(seen.len(), 64);
+        assert!(seen.iter().all(|&v| v == 41), "{seen:?}");
+        // The test thread's own token is untouched.
+        assert_eq!(TOKEN.with(|t| t.get()), 41);
     }
 }
