@@ -329,6 +329,53 @@ fn main() {
         }
     });
 
+    // Lookup-kernel baseline: partition_point vs the compiled SegmentIndex
+    // layouts (grid / Eytzinger) at 16/512/8192 knots. Writes
+    // BENCH_kernel.json (overridable with MBP_KERNEL_OUT; lookup count with
+    // MBP_KERNEL_LOOKUPS).
+    run_phase(&mut phases, "kernel-baseline", || {
+        let lookups = std::env::var("MBP_KERNEL_LOOKUPS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1024)
+            .unwrap_or(2_000_000);
+        let baseline = mbp_bench::kernelbench::run(lookups);
+        print_table(
+            &format!(
+                "Lookup kernel baseline ({} lookups/workload, consistent: {}, deterministic: {})",
+                lookups, baseline.consistent, baseline.deterministic
+            ),
+            &["workload", "knots", "layout", "lookups/sec"],
+            &baseline
+                .workloads
+                .iter()
+                .map(|w| {
+                    vec![
+                        w.name.clone(),
+                        w.knots.to_string(),
+                        w.layout.to_string(),
+                        fmt(w.lookups_per_sec),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        print_table(
+            "Lookup kernel speedups vs partition_point",
+            &["ratio", "value"],
+            &baseline
+                .speedups
+                .iter()
+                .map(|s| vec![s.name.clone(), fmt(s.value)])
+                .collect::<Vec<_>>(),
+        );
+        let out =
+            std::env::var("MBP_KERNEL_OUT").unwrap_or_else(|_| "BENCH_kernel.json".to_string());
+        match std::fs::write(&out, baseline.to_json()) {
+            Ok(()) => println!("kernel baseline written to {out}"),
+            Err(e) => eprintln!("could not write kernel baseline {out}: {e}"),
+        }
+    });
+
     // Verification baseline: arbitrage attack, differential oracle, and
     // schedule-exploration throughput from mbp-testkit. Writes
     // BENCH_testkit.json (overridable with MBP_TESTKIT_OUT; trial count

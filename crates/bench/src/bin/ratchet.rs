@@ -4,14 +4,16 @@
 //! improving beyond its tolerance band.
 //!
 //! Knobs: `MBP_BASELINE_DIR` (where the committed artifacts live, default
-//! `.`), `MBP_RATCHET_TOL` (widens the absolute-latency band for slow
-//! runners), `MBP_SERVE_QUOTES` / `MBP_ATTACK_TRIALS` / `MBP_TRACE_QUOTES`
-//! (fresh-run sizes), and `MBP_TRACE_BUDGET_DISABLED` /
+//! `.`), `MBP_RATCHET_TOL` / `MBP_RATCHET_RATIO_TOL` (widen the
+//! absolute-latency and ratio bands for slow or shared runners),
+//! `MBP_SERVE_QUOTES` / `MBP_KERNEL_LOOKUPS` / `MBP_ATTACK_TRIALS` /
+//! `MBP_TRACE_QUOTES` (fresh-run sizes), and `MBP_TRACE_BUDGET_DISABLED` /
 //! `MBP_TRACE_BUDGET_ENABLED` (fresh-run overhead budgets; the committed
 //! artifact is always held to the strict 2% / 10% contract).
 
 use mbp_bench::ratchet::{
-    check_trace_overhead, compare_serving, compare_testkit, RatchetConfig, RatchetReport,
+    check_trace_overhead, compare_kernel, compare_serving, compare_testkit, RatchetConfig,
+    RatchetReport,
 };
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -85,6 +87,23 @@ fn main() {
         }
         Err(e) => {
             println!("[serving] ERROR: {e}");
+            failed = true;
+        }
+    }
+
+    match read_baseline(&dir, "BENCH_kernel.json") {
+        Ok(committed) => {
+            let lookups = env_usize("MBP_KERNEL_LOOKUPS", 200_000);
+            println!("measuring lookup-kernel baseline ({lookups} lookups/workload)...");
+            let fresh = mbp_bench::kernelbench::run(lookups).to_json();
+            check(
+                "kernel",
+                compare_kernel(&committed, &fresh, &cfg),
+                &mut failed,
+            );
+        }
+        Err(e) => {
+            println!("[kernel] ERROR: {e}");
             failed = true;
         }
     }

@@ -20,6 +20,7 @@
 
 pub mod attackbench;
 pub mod experiments;
+pub mod kernelbench;
 pub mod parbench;
 pub mod ratchet;
 pub mod report;

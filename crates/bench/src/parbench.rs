@@ -119,10 +119,11 @@ pub fn run(reps: usize) -> ParallelBaseline {
     let _span = mbp_obs::span("mbp.bench.parbench");
 
     // Phase inputs are built once, outside the timed sections. The gram
-    // input is 96 columns wide: wide enough to clear the parallel work
-    // grain (narrower inputs intentionally stay serial after the small-size
-    // regression fix, so benchmarking them would measure the serial path
-    // three times).
+    // input (4096×96) sits *below* the parallel work grain on purpose: it
+    // is the size class that regressed under the earlier 500k grain
+    // (0.70× at 4 threads), so the phase now certifies that mid-size
+    // inputs take the serial path at every thread count (speedup ≈ 1.0)
+    // instead of paying the fork/join handoff.
     let gram_input = patterned_matrix(4096, 96);
     let matmul_a = patterned_matrix(384, 320);
     let matmul_b = patterned_matrix(320, 384);

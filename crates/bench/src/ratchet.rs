@@ -6,14 +6,22 @@
 //! * **Ratio metrics** (`table_speedup_vs_scan`, `batch_speedup_vs_single`,
 //!   `factor_cache_speedup`) are same-process measurement ratios and
 //!   therefore largely machine-independent. They must not fall below
-//!   `baseline × (1 − ratio_tolerance)`; the default band is 15%.
+//!   `baseline × (1 − ratio_tolerance)`; the default band is 15% and
+//!   `MBP_RATCHET_RATIO_TOL` widens it for noisy runners.
 //! * **Absolute latencies** (per-workload `p99_micros`) and throughputs
 //!   (per-phase `units_per_sec`) depend on the machine. They must not
 //!   regress beyond `baseline × (1 ± p99_tolerance)`; the default band is
 //!   100% (a gross-regression guard — absolute timings on shared or
 //!   single-core runners are noisy) and `MBP_RATCHET_TOL` adjusts it.
-//! * **Invariants** (`deterministic`, `clean`, `table_matches_scan`) must
-//!   hold in the fresh run unconditionally — no tolerance.
+//! * **Invariants** (`deterministic`, `clean`, `table_matches_scan`,
+//!   `consistent`) must hold in the fresh run unconditionally — no
+//!   tolerance.
+//! * **Hard floors** are absolute: the *committed* serving baseline must
+//!   show `table_speedup_vs_scan ≥ 1.0` and `batch_speedup_vs_single ≥
+//!   3.0`. Binding the committed artifact (smoke re-runs time these
+//!   ratios too noisily for an exact cutoff) means a regression cannot be
+//!   laundered by regenerating a worse baseline — the regeneration itself
+//!   fails CI, while fresh runs stay inside the relative ratio band.
 //!
 //! Artifacts are parsed with a small self-contained JSON reader (the
 //! workspace is dependency-free), so the comparator accepts any
@@ -286,13 +294,22 @@ impl Default for RatchetConfig {
 
 impl RatchetConfig {
     /// Default bands, with `MBP_RATCHET_TOL` (a float, e.g. `1.0` = 100%)
-    /// widening the absolute-latency band for slow or shared runners.
+    /// widening the absolute-latency band and `MBP_RATCHET_RATIO_TOL`
+    /// widening the ratio band for slow or shared runners (single smoke
+    /// runs on a time-sliced core swing same-process ratios by ±25%).
     pub fn from_env() -> Self {
         let mut cfg = RatchetConfig::default();
         if let Ok(s) = std::env::var("MBP_RATCHET_TOL") {
             if let Ok(v) = s.parse::<f64>() {
                 if v.is_finite() && v >= 0.0 {
                     cfg.p99_tolerance = v;
+                }
+            }
+        }
+        if let Ok(s) = std::env::var("MBP_RATCHET_RATIO_TOL") {
+            if let Ok(v) = s.parse::<f64>() {
+                if v.is_finite() && v >= 0.0 {
+                    cfg.ratio_tolerance = v;
                 }
             }
         }
@@ -356,6 +373,24 @@ impl RatchetReport {
         if !ok {
             self.failures.push(format!(
                 "{metric} regressed: fresh {fresh:.3} > ceiling {ceiling:.3} (baseline {baseline:.3}, tol {tol:.2})"
+            ));
+        }
+    }
+
+    /// An absolute floor, applied to the committed artifact: a baseline
+    /// that does not clear it cannot be committed, so regenerating a worse
+    /// baseline fails CI instead of quietly lowering the bar.
+    fn hard_floor(&mut self, metric: &str, floor: f64, value: f64) {
+        let ok = value >= floor;
+        self.checks.push(RatchetCheck {
+            metric: metric.to_string(),
+            baseline: floor,
+            fresh: value,
+            ok,
+        });
+        if !ok {
+            self.failures.push(format!(
+                "{metric} below hard floor: committed {value:.4} < {floor:.4}"
             ));
         }
     }
@@ -444,6 +479,23 @@ pub fn compare_serving(
             cfg.ratio_tolerance,
         );
     }
+    // Hard floors on the *committed* artifact: the compiled table must
+    // beat the scan outright, and the batch path must hold its lead over
+    // single-quote serving. Binding the committed document (not the smoke
+    // re-measurement, whose short runs time these ratios noisily) means a
+    // regression cannot be laundered by regenerating a worse baseline —
+    // the regeneration itself fails CI. Fresh runs are still held within
+    // `ratio_tolerance` of the committed values above.
+    report.hard_floor(
+        "table_speedup_vs_scan.hard_floor",
+        1.0,
+        num_field(&base, "table_speedup_vs_scan")?,
+    );
+    report.hard_floor(
+        "batch_speedup_vs_single.hard_floor",
+        3.0,
+        num_field(&base, "batch_speedup_vs_single")?,
+    );
     report.invariant(
         "deterministic",
         bool_field(&fresh, "deterministic").unwrap_or(false),
@@ -507,6 +559,68 @@ pub fn compare_testkit(
     Ok(report)
 }
 
+/// Diffs a fresh `BENCH_kernel.json` against the committed baseline.
+///
+/// The grid / Eytzinger speedup ratios over `partition_point` are
+/// same-process measurement ratios and ratchet under `ratio_tolerance`;
+/// per-workload absolute lookup throughput is machine-dependent and gets
+/// the wide `p99_tolerance` band. `consistent` (both index layouts answer
+/// exactly like `partition_point`) and `deterministic` must hold in the
+/// fresh run unconditionally.
+pub fn compare_kernel(
+    baseline_json: &str,
+    fresh_json: &str,
+    cfg: &RatchetConfig,
+) -> Result<RatchetReport, String> {
+    let base = parse_json(baseline_json)?;
+    let fresh = parse_json(fresh_json)?;
+    let mut report = RatchetReport::default();
+
+    report.invariant(
+        "consistent",
+        bool_field(&fresh, "consistent").unwrap_or(false),
+    );
+    report.invariant(
+        "deterministic",
+        bool_field(&fresh, "deterministic").unwrap_or(false),
+    );
+
+    let base_speedups = by_name(&base, "speedups")?;
+    let fresh_speedups = by_name(&fresh, "speedups")?;
+    for (name, base_s) in &base_speedups {
+        let Some(fresh_s) = fresh_speedups.get(name) else {
+            report
+                .failures
+                .push(format!("speedup '{name}' missing from fresh run"));
+            continue;
+        };
+        report.ratio_floor(
+            &format!("speedups.{name}"),
+            num_field(base_s, "value")?,
+            num_field(fresh_s, "value")?,
+            cfg.ratio_tolerance,
+        );
+    }
+
+    let base_workloads = by_name(&base, "workloads")?;
+    let fresh_workloads = by_name(&fresh, "workloads")?;
+    for (name, base_w) in &base_workloads {
+        let Some(fresh_w) = fresh_workloads.get(name) else {
+            report
+                .failures
+                .push(format!("workload '{name}' missing from fresh run"));
+            continue;
+        };
+        report.ratio_floor(
+            &format!("workloads.{name}.lookups_per_sec"),
+            num_field(base_w, "lookups_per_sec")?,
+            num_field(fresh_w, "lookups_per_sec")?,
+            cfg.p99_tolerance,
+        );
+    }
+    Ok(report)
+}
+
 /// Diffs a fresh `BENCH_trace.json` against the tracing overhead budgets:
 /// the serve path must cost ≤ `disabled_budget` with tracing compiled in
 /// but off, and ≤ `enabled_budget` with tracing on.
@@ -542,6 +656,7 @@ mod tests {
 
     const SERVING: &str = include_str!("../../../BENCH_serving.json");
     const TESTKIT: &str = include_str!("../../../BENCH_testkit.json");
+    const KERNEL: &str = include_str!("../../../BENCH_kernel.json");
 
     #[test]
     fn parser_round_trips_committed_baselines() {
@@ -590,6 +705,67 @@ mod tests {
         assert!(report.pass(), "{}", report.render());
         let report = compare_testkit(TESTKIT, TESTKIT, &cfg).expect("comparable");
         assert!(report.pass(), "{}", report.render());
+        let report = compare_kernel(KERNEL, KERNEL, &cfg).expect("comparable");
+        assert!(report.pass(), "{}", report.render());
+    }
+
+    /// The committed serving artifact must clear the absolute hard floors —
+    /// the compiled table beats the scan and the batch path beats the
+    /// single-quote path 3x — not merely avoid regressing against itself.
+    #[test]
+    fn hard_floors_bind_regardless_of_baseline() {
+        let cfg = RatchetConfig::default();
+        let base = parse_json(SERVING).expect("parses");
+        let table_speedup = base
+            .get("table_speedup_vs_scan")
+            .and_then(Json::as_f64)
+            .expect("ratio present");
+        assert!(
+            table_speedup >= 1.0,
+            "committed table_speedup_vs_scan {table_speedup} under floor"
+        );
+        // Committing a baseline doctored below the floor fails its own
+        // self-compare (which CI runs on every change), even though the
+        // relative ratio check alone would pass a self-compare trivially —
+        // so a worse baseline can never be laundered in.
+        let needle = format!("\"table_speedup_vs_scan\": {table_speedup:.4}");
+        let doctored = SERVING.replacen(&needle, "\"table_speedup_vs_scan\": 0.9000", 1);
+        assert_ne!(doctored, SERVING, "injection must change the document");
+        let report = compare_serving(&doctored, &doctored, &cfg).expect("comparable");
+        assert!(!report.pass(), "sub-1.0 table speedup must fail");
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("hard floor") && f.contains("table_speedup_vs_scan")),
+            "failure must name the hard floor: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn kernel_ratchet_fails_on_throughput_and_consistency_regressions() {
+        let cfg = RatchetConfig::default();
+        // A consistency break is always fatal.
+        let broken = KERNEL.replacen("\"consistent\": true", "\"consistent\": false", 1);
+        assert_ne!(broken, KERNEL);
+        let report = compare_kernel(KERNEL, &broken, &cfg).expect("comparable");
+        assert!(!report.pass(), "inconsistent fresh run must fail");
+        // A collapsed grid speedup beyond tolerance is fatal.
+        let base = parse_json(KERNEL).expect("parses");
+        let speedups = by_name(&base, "speedups").expect("speedups");
+        let grid = speedups.get("grid_vs_pp@512").expect("grid ratio present");
+        let value = num_field(grid, "value").expect("value");
+        let needle = format!("\"name\": \"grid_vs_pp@512\", \"value\": {value:.4}");
+        let poisoned = format!(
+            "\"name\": \"grid_vs_pp@512\", \"value\": {:.4}",
+            value * 0.2
+        );
+        let slowed = KERNEL.replacen(&needle, &poisoned, 1);
+        assert_ne!(slowed, KERNEL, "injection must change the document");
+        let report = compare_kernel(KERNEL, &slowed, &cfg).expect("comparable");
+        assert!(!report.pass(), "5x grid slowdown must fail");
+        assert!(report.failures.iter().any(|f| f.contains("grid_vs_pp@512")));
     }
 
     /// Acceptance: an injected p99 regression beyond tolerance fails the
@@ -652,14 +828,16 @@ mod tests {
             ratio_tolerance: 0.15,
             p99_tolerance: 0.50,
         };
-        let base = r#"{"table_speedup_vs_scan": 1.0, "batch_speedup_vs_single": 1.0,
+        // Speedups sit comfortably above the hard floors (1.0 / 3.0) so this
+        // test exercises the *relative* tolerance band in isolation.
+        let base = r#"{"table_speedup_vs_scan": 2.0, "batch_speedup_vs_single": 4.0,
                        "factor_cache_speedup": 1.0, "deterministic": true,
                        "table_matches_scan": true,
                        "workloads": [{"name": "w", "p99_micros": 100.0}]}"#;
         let fresh = base
             .replacen(
-                "\"table_speedup_vs_scan\": 1.0",
-                "\"table_speedup_vs_scan\": 0.9",
+                "\"table_speedup_vs_scan\": 2.0",
+                "\"table_speedup_vs_scan\": 1.8",
                 1,
             )
             .replacen("\"p99_micros\": 100.0", "\"p99_micros\": 140.0", 1);

@@ -20,6 +20,7 @@
 //!   isotonic regression (the curve must be monotone by Theorem 4; sampling
 //!   noise is projected away), invert by piecewise-linear interpolation.
 
+use crate::lookup::SegmentIndex;
 use crate::mechanism::NoiseMechanism;
 use mbp_data::Dataset;
 use mbp_linalg::Vector;
@@ -244,6 +245,12 @@ pub struct EmpiricalTransform {
     ncps: Vec<f64>,
     /// Isotonic-smoothed expected error per grid point.
     errors: Vec<f64>,
+    /// Branchless segment lookup over `ncps` (forward interpolation).
+    ncp_index: SegmentIndex,
+    /// Branchless segment lookup over `errors` (inverse interpolation;
+    /// PAVA pooling can leave duplicate-adjacent errors, which the index
+    /// resolves exactly like `partition_point`).
+    err_index: SegmentIndex,
     error_kind: TestError,
 }
 
@@ -291,6 +298,8 @@ impl EmpiricalTransform {
         let errors = pava_non_decreasing(&raw, &weights);
         EmpiricalTransform {
             ncps: ncp_grid.to_vec(),
+            ncp_index: SegmentIndex::new(ncp_grid),
+            err_index: SegmentIndex::new(&errors),
             errors,
             error_kind,
         }
@@ -314,9 +323,11 @@ impl EmpiricalTransform {
         if ncp >= d_last {
             return e_last;
         }
-        // Interior: partition_point lands in [1, n-1] because ncp is
-        // strictly between the endpoints; the fallbacks are unreachable.
-        let idx = self.ncps.partition_point(|&x| x <= ncp);
+        // Interior: the upper bound lands in [1, n-1] because ncp is
+        // strictly between the endpoints; the fallbacks are unreachable
+        // (and also absorb NaN, which the index sends to bound 0 exactly
+        // like `partition_point`).
+        let idx = self.ncp_index.upper_bound(&self.ncps, ncp);
         let i0 = idx.wrapping_sub(1);
         let (Some(&x0), Some(&x1)) = (self.ncps.get(i0), self.ncps.get(idx)) else {
             return e_last;
@@ -338,8 +349,9 @@ impl ErrorTransform for EmpiricalTransform {
         if !err.is_finite() || err < e_first - 1e-12 || err > e_last + 1e-12 {
             return None;
         }
-        // Find the first segment whose upper endpoint reaches err.
-        let idx = self.errors.partition_point(|&e| e < err);
+        // Find the first segment whose upper endpoint reaches err (the
+        // lower bound: first error ≥ err, exactly as the scan computed).
+        let idx = self.err_index.lower_bound(&self.errors, err);
         if idx == 0 {
             return self.ncps.first().copied();
         }

@@ -22,6 +22,8 @@
 //!   bijection and its empirical estimation, Figure 6);
 //! * [`pricing`] — piecewise-linear pricing functions over the inverse-NCP
 //!   axis (the Proposition 1 construction);
+//! * [`lookup`] — the branchless segment-lookup kernel (Eytzinger / grid
+//!   layouts) behind the compiled serving tables;
 //! * [`arbitrage`] — auditors that verify or *break* pricing functions,
 //!   including the model-averaging attack from the proof of Theorem 5;
 //! * [`revenue`] — the revenue-optimization toolbox of Section 5: the
@@ -36,13 +38,17 @@
 
 pub mod arbitrage;
 pub mod error;
+pub mod lookup;
 pub mod market;
 pub mod mechanism;
 pub mod pricing;
 pub mod revenue;
 
+pub use lookup::SegmentIndex;
 pub use mechanism::{
     GaussianMechanism, LaplaceMechanism, NoiseMechanism, UniformAdditiveMechanism,
     UniformMultiplicativeMechanism,
 };
-pub use pricing::{ErrorPricedTable, ErrorPricedView, PhiMemo, PricingFunction, PricingTable};
+pub use pricing::{
+    BatchScratch, ErrorPricedTable, ErrorPricedView, PhiMemo, PricingFunction, PricingTable,
+};

@@ -3,7 +3,7 @@
 use crate::error::ErrorTransform;
 use crate::market::curves::{buyer_points, DemandCurve, ValueCurve};
 use crate::mechanism::{GaussianMechanism, NoiseMechanism};
-use crate::pricing::{PhiMemo, PricingFunction, PricingTable};
+use crate::pricing::{BatchScratch, PhiMemo, PricingFunction, PricingTable};
 use crate::revenue::{solve_bv_dp, BuyerPoint, RevenueSolution};
 use mbp_data::TrainTest;
 use mbp_ml::train::{gradient_descent, newton_logistic, RidgeSolver, TrainConfig};
@@ -160,6 +160,55 @@ pub struct Sale {
     pub ncp: f64,
     /// Expected buyer-facing error at that NCP.
     pub expected_error: f64,
+}
+
+/// Reusable buffers for the zero-allocation batch purchase path
+/// ([`Broker::buy_batch_into`]).
+///
+/// The arena owns one [`Sale`] slot per request position plus the
+/// resolve/price/binning scratch. Slots are grown (and their model
+/// buffers cloned) only when a batch is larger than any seen before;
+/// after one warm-up batch at the steady-state size — and with ledger
+/// capacity reserved via [`Broker::reserve_ledger`] — repeat batches
+/// perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct SaleArena {
+    sales: Vec<Sale>,
+    outcomes: Vec<Result<f64, MarketError>>,
+    xs: Vec<f64>,
+    prices: Vec<f64>,
+    scratch: BatchScratch,
+    len: usize,
+}
+
+impl SaleArena {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        SaleArena::default()
+    }
+
+    /// Number of requests in the most recent batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no batch has been run (or the last batch was empty).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Per-request outcomes of the most recent batch, in request order:
+    /// `Ok` borrows the arena-resident [`Sale`], `Err` the rejection.
+    pub fn results(&self) -> impl Iterator<Item = Result<&Sale, &MarketError>> {
+        self.outcomes
+            .iter()
+            .take(self.len)
+            .zip(self.sales.iter())
+            .map(|(outcome, sale)| match outcome {
+                Ok(_) => Ok(sale),
+                Err(e) => Err(e),
+            })
+    }
 }
 
 /// Ledger entry kept by the broker for revenue accounting.
@@ -443,6 +492,15 @@ impl Broker {
     /// outer error fires only when `kind` has no listing. The ledger is
     /// untouched — pair with [`Broker::settle`] or use
     /// [`Broker::buy_batch`].
+    ///
+    /// Internally the batch runs the three-pass binned kernel: resolve all
+    /// NCPs (no RNG), price all precisions through
+    /// [`PricingTable::price_at_batch`] (requests binned by knot segment,
+    /// each segment's constants loaded once, results scattered back into
+    /// request order), then draw noise in request order. Prices are
+    /// bit-identical to a sequential [`Broker::buy_listed`] loop and the
+    /// RNG stream is consumed identically (rejected requests draw
+    /// nothing), so result digests are unchanged.
     pub fn quote_batch(
         &self,
         kind: ModelKind,
@@ -468,32 +526,60 @@ impl Broker {
             .ok_or(MarketError::UnsupportedModel(kind))?;
         mbp_obs::counter_add("mbp.core.pricing.table_hit", requests.len() as u64);
         let pricing = PricePath::Table(&listing.table);
-        let mut out = Vec::with_capacity(requests.len());
-        let mut served = 0u64;
-        let mut revenue = 0.0;
+        // Pass 1 — resolve every request to its NCP (consumes no RNG).
+        let resolve_span = mbp_obs::span("mbp.core.buy_batch.resolve");
+        let mut resolved: Vec<Result<f64, MarketError>> = Vec::with_capacity(requests.len());
+        let mut xs: Vec<f64> = Vec::with_capacity(requests.len());
         for &request in requests {
-            let trace = mbp_obs::trace_root(
-                "mbp.core.buy",
-                kind_label(kind),
-                self.mechanism.name(),
-                batch_seed,
-            );
-            let r = execute_purchase(
-                entry,
-                self.mechanism.as_ref(),
+            let r = resolve_ncp(
                 &pricing,
                 Some(&listing.phi),
                 listing.transform.as_ref(),
-                kind,
                 request,
-                rng,
-                &trace,
             );
-            if let Ok((sale, _)) = &r {
-                served += 1;
-                revenue += sale.price;
+            xs.push(r.as_ref().map_or(f64::NAN, |&d| 1.0 / d));
+            resolved.push(r);
+        }
+        drop(resolve_span);
+        // Pass 2 — binned pricing over the precision vector.
+        let price_span = mbp_obs::span("mbp.core.buy_batch.price");
+        let mut scratch = BatchScratch::default();
+        let mut prices: Vec<f64> = Vec::new();
+        listing.table.price_at_batch(&xs, &mut scratch, &mut prices);
+        drop(price_span);
+        // Pass 3 — noise and Sale assembly, strictly in request order so
+        // the RNG stream matches the sequential loop.
+        let mut out = Vec::with_capacity(requests.len());
+        let mut served = 0u64;
+        let mut revenue = 0.0;
+        for (i, r) in resolved.into_iter().enumerate() {
+            match r {
+                Err(e) => out.push(Err(e)),
+                Ok(ncp) => {
+                    let trace = mbp_obs::trace_root(
+                        "mbp.core.buy",
+                        kind_label(kind),
+                        self.mechanism.name(),
+                        batch_seed,
+                    );
+                    let price = prices.get(i).copied().unwrap_or(0.0);
+                    let noise = trace.phase(mbp_obs::Phase::Noise);
+                    let weights = self.mechanism.perturb(entry.model.weights(), ncp, rng);
+                    let model = entry.model.with_weights(weights);
+                    drop(noise);
+                    served += 1;
+                    revenue += price;
+                    out.push(Ok((
+                        Sale {
+                            model,
+                            price,
+                            ncp,
+                            expected_error: listing.transform.expected_error(ncp),
+                        },
+                        Transaction { kind, ncp, price },
+                    )));
+                }
             }
-            out.push(r);
         }
         mbp_obs::counter_add("mbp.core.buy.count", served);
         mbp_obs::counter_add("mbp.core.buy.rejected", requests.len() as u64 - served);
@@ -523,6 +609,111 @@ impl Broker {
                 })
             })
             .collect())
+    }
+
+    /// Zero-allocation variant of [`Broker::buy_batch`]: runs the same
+    /// three-pass binned kernel but writes every release into `arena`'s
+    /// resident [`Sale`] slots (reusing their model buffers) and keeps all
+    /// resolve/price/binning scratch in the arena. Successful transactions
+    /// settle into the ledger in request order; read per-request outcomes
+    /// with [`SaleArena::results`].
+    ///
+    /// Prices, noise draws, and RNG consumption are bit-identical to
+    /// [`Broker::buy_batch`] and to a sequential [`Broker::buy_listed`]
+    /// loop. After one warm-up batch at the steady-state batch size (and
+    /// with ledger capacity reserved via [`Broker::reserve_ledger`]),
+    /// repeat batches perform no heap allocation.
+    pub fn buy_batch_into(
+        &mut self,
+        kind: ModelKind,
+        requests: &[PurchaseRequest],
+        rng: &mut MbpRng,
+        arena: &mut SaleArena,
+    ) -> Result<(), MarketError> {
+        let _span = mbp_obs::span("mbp.core.buy_batch");
+        let batch_seed = if mbp_obs::is_tracing() {
+            mbp_obs::trace::take_request_seed()
+        } else {
+            0
+        };
+        let listing = self
+            .listings
+            .get(&kind)
+            .ok_or(MarketError::UnsupportedModel(kind))?;
+        let entry = self
+            .menu
+            .get(&kind)
+            .ok_or(MarketError::UnsupportedModel(kind))?;
+        mbp_obs::counter_add("mbp.core.pricing.table_hit", requests.len() as u64);
+        let pricing = PricePath::Table(&listing.table);
+        // Pass 1 — resolve (no RNG), recording precision 1/δ per request.
+        let resolve_span = mbp_obs::span("mbp.core.buy_batch.resolve");
+        arena.len = requests.len();
+        arena.outcomes.clear();
+        arena.xs.clear();
+        for &request in requests {
+            let r = resolve_ncp(
+                &pricing,
+                Some(&listing.phi),
+                listing.transform.as_ref(),
+                request,
+            );
+            arena.xs.push(r.as_ref().map_or(f64::NAN, |&d| 1.0 / d));
+            arena.outcomes.push(r);
+        }
+        drop(resolve_span);
+        // Pass 2 — binned pricing into the arena's price buffer.
+        let price_span = mbp_obs::span("mbp.core.buy_batch.price");
+        listing
+            .table
+            .price_at_batch(&arena.xs, &mut arena.scratch, &mut arena.prices);
+        drop(price_span);
+        // Grow the Sale pool to the batch size (warm-up cost only).
+        while arena.sales.len() < requests.len() {
+            arena.sales.push(Sale {
+                model: entry.model.clone(),
+                price: 0.0,
+                ncp: 0.0,
+                expected_error: 0.0,
+            });
+        }
+        // Pass 3 — noise and settlement, strictly in request order.
+        let mut served = 0u64;
+        let mut revenue = 0.0;
+        for (i, (outcome, sale)) in arena
+            .outcomes
+            .iter()
+            .zip(arena.sales.iter_mut())
+            .enumerate()
+        {
+            let Ok(&ncp) = outcome.as_ref() else { continue };
+            let trace = mbp_obs::trace_root(
+                "mbp.core.buy",
+                kind_label(kind),
+                self.mechanism.name(),
+                batch_seed,
+            );
+            let price = arena.prices.get(i).copied().unwrap_or(0.0);
+            if sale.model.kind() != kind || sale.model.dim() != entry.model.dim() {
+                sale.model = entry.model.clone();
+            }
+            let noise = trace.phase(mbp_obs::Phase::Noise);
+            self.mechanism
+                .perturb_into(entry.model.weights(), ncp, rng, sale.model.weights_mut());
+            drop(noise);
+            sale.price = price;
+            sale.ncp = ncp;
+            sale.expected_error = listing.transform.expected_error(ncp);
+            let ledger = trace.phase(mbp_obs::Phase::Ledger);
+            self.ledger.push(Transaction { kind, ncp, price });
+            drop(ledger);
+            served += 1;
+            revenue += price;
+        }
+        mbp_obs::counter_add("mbp.core.buy.count", served);
+        mbp_obs::counter_add("mbp.core.buy.rejected", requests.len() as u64 - served);
+        mbp_obs::gauge_add("mbp.core.revenue.total", revenue);
+        Ok(())
     }
 
     /// Pre-allocates ledger capacity for `additional` upcoming
@@ -1299,6 +1490,160 @@ mod tests {
             bat.buy_batch(ModelKind::LinearSvm, &requests, &mut rng_bat),
             Err(MarketError::UnsupportedModel(_))
         ));
+    }
+
+    /// The arena path replays `buy_batch` bit-for-bit: same prices, NCPs,
+    /// and noise draws, same ledger — including on a second, smaller batch
+    /// that reuses warmed slots.
+    #[test]
+    fn buy_batch_into_matches_buy_batch() {
+        let mut plain = Broker::new(market_data(34));
+        let mut arena_b = Broker::new(market_data(34));
+        for broker in [&mut plain, &mut arena_b] {
+            broker.support(ModelKind::LinearRegression, 0.0).unwrap();
+            broker
+                .publish(
+                    ModelKind::LinearRegression,
+                    simple_pricing(),
+                    Box::new(SquareLossTransform),
+                )
+                .unwrap();
+        }
+        let batches: [&[PurchaseRequest]; 2] = [
+            &[
+                PurchaseRequest::AtNcp(0.5),
+                PurchaseRequest::PriceBudget(5.0),
+                PurchaseRequest::AtNcp(-1.0), // rejected inline
+                PurchaseRequest::ErrorBudget(1.5),
+                PurchaseRequest::PriceBudget(0.0), // rejected
+            ],
+            // Smaller follow-up batch: exercises warmed Sale slots.
+            &[PurchaseRequest::AtNcp(0.25), PurchaseRequest::AtNcp(2.0)],
+        ];
+        let mut rng_plain = seeded_rng(35);
+        let mut rng_arena = seeded_rng(35);
+        let mut arena = SaleArena::new();
+        for requests in batches {
+            let expected = plain
+                .buy_batch(ModelKind::LinearRegression, requests, &mut rng_plain)
+                .unwrap();
+            arena_b
+                .buy_batch_into(
+                    ModelKind::LinearRegression,
+                    requests,
+                    &mut rng_arena,
+                    &mut arena,
+                )
+                .unwrap();
+            assert_eq!(arena.len(), requests.len());
+            let got: Vec<_> = arena.results().collect();
+            assert_eq!(expected.len(), got.len());
+            for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+                match (e, g) {
+                    (Ok(e), Ok(g)) => {
+                        assert_eq!(e.price.to_bits(), g.price.to_bits(), "request {i}");
+                        assert_eq!(e.ncp.to_bits(), g.ncp.to_bits(), "request {i}");
+                        assert_eq!(e.model.weights(), g.model.weights(), "request {i}");
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => panic!("request {i}: outcome mismatch"),
+                }
+            }
+        }
+        assert_eq!(plain.ledger().len(), arena_b.ledger().len());
+        assert_eq!(plain.total_revenue(), arena_b.total_revenue());
+        assert!(matches!(
+            arena_b.buy_batch_into(ModelKind::LinearSvm, batches[0], &mut rng_arena, &mut arena),
+            Err(MarketError::UnsupportedModel(_))
+        ));
+    }
+
+    /// The sorted-bin kernel must scatter results back into request order:
+    /// a batch deliberately shuffled across every evaluation class (ray,
+    /// interior segments, saturation, rejections) returns exactly what a
+    /// sequential loop returns, position by position, bit for bit.
+    #[test]
+    fn batch_kernel_preserves_request_order_across_segments() {
+        let mut seq = Broker::new(market_data(40));
+        let mut bat = Broker::new(market_data(40));
+        for broker in [&mut seq, &mut bat] {
+            broker.support(ModelKind::LinearRegression, 0.0).unwrap();
+            broker
+                .publish(
+                    ModelKind::LinearRegression,
+                    simple_pricing(),
+                    Box::new(SquareLossTransform),
+                )
+                .unwrap();
+        }
+        // simple_pricing has knots 1..=10: NCP 1/x walks every segment.
+        // Shuffled so neighbouring requests land in different bins.
+        let requests: Vec<PurchaseRequest> = [
+            0.05,
+            9.5,
+            2.3,
+            0.11,
+            7.7,
+            -3.0,
+            1.0,
+            4.2,
+            0.5,
+            12.0,
+            3.9,
+            0.09,
+            6.1,
+            5.5,
+            8.8,
+            2.0,
+            1.4,
+            0.25,
+            f64::NAN,
+            10.0,
+        ]
+        .into_iter()
+        .map(PurchaseRequest::AtNcp)
+        .collect();
+        let mut rng_seq = seeded_rng(41);
+        let mut rng_bat = seeded_rng(41);
+        let sequential: Vec<Result<Sale, MarketError>> = requests
+            .iter()
+            .map(|&r| seq.buy_listed(ModelKind::LinearRegression, r, &mut rng_seq))
+            .collect();
+        let batched = bat
+            .buy_batch(ModelKind::LinearRegression, &requests, &mut rng_bat)
+            .unwrap();
+        // Digest both sides in request order: any scatter misordering or
+        // arithmetic drift changes the fold.
+        let digest = |sales: &[Result<Sale, MarketError>]| -> u64 {
+            sales.iter().enumerate().fold(0u64, |h, (i, r)| {
+                let word = match r {
+                    Ok(s) => s
+                        .model
+                        .weights()
+                        .as_slice()
+                        .iter()
+                        .fold(s.price.to_bits() ^ s.ncp.to_bits(), |a, w| {
+                            a.rotate_left(7) ^ w.to_bits()
+                        }),
+                    Err(_) => 0xDEAD,
+                };
+                h.rotate_left(11) ^ word ^ i as u64
+            })
+        };
+        let seq_results: Vec<Result<Sale, MarketError>> = sequential;
+        assert_eq!(seq_results.len(), batched.len());
+        for (i, (s, b)) in seq_results.iter().zip(&batched).enumerate() {
+            match (s, b) {
+                (Ok(s), Ok(b)) => {
+                    assert_eq!(s.price.to_bits(), b.price.to_bits(), "request {i}");
+                    assert_eq!(s.ncp.to_bits(), b.ncp.to_bits(), "request {i}");
+                    assert_eq!(s.model.weights(), b.model.weights(), "request {i}");
+                }
+                (Err(_), Err(_)) => {}
+                _ => panic!("request {i}: outcome mismatch"),
+            }
+        }
+        assert_eq!(digest(&seq_results), digest(&batched));
     }
 
     /// Linear regression re-supports at new ridges from the cached Gram

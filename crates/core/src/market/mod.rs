@@ -23,5 +23,5 @@ pub mod simulation;
 
 pub use agents::{
     Broker, Buyer, MarketError, PriceErrorCurve, PriceErrorPoint, PurchaseRequest, QuoteBatch,
-    Sale, Seller, Transaction,
+    Sale, SaleArena, Seller, Transaction,
 };

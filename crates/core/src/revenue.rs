@@ -571,12 +571,22 @@ fn revenue_of_prices(z: &[f64], points: &[BuyerPoint]) -> f64 {
 }
 
 /// Buyer points per parallel chunk when evaluating a pricing function
-/// against a population. Populations spanning fewer than two chunks run the
-/// original sequential code, bit-identical to the serial implementation.
+/// against a population. The chunking (and with it the chunk-order
+/// reduction, hence every parallel result's bits) is fixed independently of
+/// the go-parallel threshold below.
 const EVAL_GRAIN: usize = 2048;
 
+/// Minimum population for the parallel evaluators to pay for their
+/// fork/join handoff. Per-point work is one piecewise-linear `price_at`
+/// plus a handful of flops — light enough that mid-size populations ran
+/// *slower* in parallel (BENCH_parallel measured 0.92×/0.80× at 2/4
+/// threads on 150k points under the earlier `n > EVAL_GRAIN` rule), so
+/// anything at or below this count runs the sequential code, bit-identical
+/// to the serial implementation.
+const EVAL_PAR_THRESHOLD: usize = 200_000;
+
 fn eval_parallel(n: usize) -> bool {
-    n > EVAL_GRAIN && mbp_par::max_threads() > 1
+    n > EVAL_PAR_THRESHOLD && mbp_par::max_threads() > 1
 }
 
 /// The price vector `z_j = p̄(a_j)` for the whole population, evaluated
@@ -1073,7 +1083,8 @@ mod tests {
         }
     }
 
-    /// A synthetic population large enough to cross `EVAL_GRAIN`.
+    /// A synthetic population; pass `n > EVAL_PAR_THRESHOLD` to exercise
+    /// the parallel path.
     fn big_population(n: usize) -> Vec<BuyerPoint> {
         (0..n)
             .map(|j| {
@@ -1086,7 +1097,7 @@ mod tests {
 
     #[test]
     fn parallel_population_eval_is_deterministic_and_consistent() {
-        let pts = big_population(6000);
+        let pts = big_population(EVAL_PAR_THRESHOLD + 20_000);
         let pf = Baseline::Lin.pricing(&pts);
         let w2 = mbp_par::with_threads(2, || welfare(&pf, &pts));
         let w4 = mbp_par::with_threads(4, || welfare(&pf, &pts));

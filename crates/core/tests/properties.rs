@@ -6,6 +6,7 @@ use mbp_core::arbitrage::audit;
 use mbp_core::error::{DeltaMethodTransform, ErrorTransform, SquareLossTransform};
 use mbp_core::pricing::{ErrorPricedView, PhiMemo, PricingFunction};
 use mbp_core::revenue::{affordability, revenue, solve_bv_dp, Baseline, BuyerPoint};
+use mbp_core::SegmentIndex;
 use mbp_optim::isotonic::is_relaxed_feasible;
 use proptest::prelude::*;
 
@@ -22,6 +23,43 @@ fn grid_and_prices() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
         }
         (grid, prices)
     })
+}
+
+/// Adversarial strictly-ascending key sets for the segment index: exact
+/// uniform lattices (compiled to the grid layout), uniform lattices with
+/// sub- and super-tolerance jitter (straddling the grid-eligibility
+/// boundary), and irregular gaps spanning six orders of magnitude
+/// (compiled to Eytzinger).
+fn adversarial_keys() -> impl Strategy<Value = Vec<f64>> {
+    (
+        0u32..3,
+        prop::collection::vec((0u32..7, 1.0..10.0f64), 1..48),
+        (1.0..100.0f64, 0.01..10.0f64),
+        -12i32..-6,
+    )
+        .prop_map(|(mode, raw, (x0, h), mag)| match mode {
+            // Irregular gaps spanning six orders of magnitude → Eytzinger.
+            0 => {
+                let mut a = 0.0;
+                raw.iter()
+                    .map(|&(g, m)| {
+                        a += m * 10f64.powi(g as i32 - 3);
+                        a
+                    })
+                    .collect()
+            }
+            // Exact uniform lattice → grid layout.
+            1 => (0..raw.len()).map(|i| x0 + i as f64 * h).collect(),
+            // Uniform lattice with alternating jitter around the
+            // grid-eligibility tolerance (1e-9·h): sub-tolerance stays on
+            // the grid, super-tolerance falls back to Eytzinger.
+            _ => {
+                let eps = h * 10f64.powi(mag);
+                (0..raw.len())
+                    .map(|i| x0 + i as f64 * h + if i % 2 == 0 { eps } else { -eps })
+                    .collect()
+            }
+        })
 }
 
 /// Random monotone-valuation buyer instance.
@@ -62,6 +100,49 @@ proptest! {
         if grid.len() > 1 {
             let x0 = grid[0] * 0.5;
             prop_assert!((pf.price_at(x0) - prices[0] * 0.5).abs() < 1e-9);
+        }
+    }
+
+    /// The compiled segment index is an exact drop-in for the branchy
+    /// binary search: on every key layout — grid-eligible lattices,
+    /// boundary-jittered lattices, and wildly irregular gaps — both
+    /// `upper_bound` and `lower_bound` return bit-for-bit the same index
+    /// as `slice::partition_point`, including on knot hits, one-ULP
+    /// neighbors of knots, out-of-range probes, infinities, and NaN.
+    #[test]
+    fn segment_index_matches_partition_point(
+        keys in adversarial_keys(),
+        probes in prop::collection::vec(0.0..1.0f64, 0..24),
+    ) {
+        let idx = SegmentIndex::new(&keys);
+        let lo = keys[0];
+        let hi = *keys.last().unwrap();
+        let span = (hi - lo).max(1.0);
+        let mut xs = vec![
+            lo - 0.5 * span,
+            hi + 0.5 * span,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NAN,
+            0.0,
+        ];
+        for &k in &keys {
+            xs.extend([k, k.next_down(), k.next_up()]);
+        }
+        for t in probes {
+            xs.push(lo - 0.1 * span + 1.2 * span * t);
+        }
+        for x in xs {
+            prop_assert_eq!(
+                idx.upper_bound(&keys, x),
+                keys.partition_point(|&k| k <= x),
+                "upper_bound diverged at x={} (grid: {})", x, idx.is_grid()
+            );
+            prop_assert_eq!(
+                idx.lower_bound(&keys, x),
+                keys.partition_point(|&k| k < x),
+                "lower_bound diverged at x={} (grid: {})", x, idx.is_grid()
+            );
         }
     }
 

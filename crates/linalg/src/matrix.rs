@@ -128,6 +128,11 @@ impl Matrix {
     }
 
     /// Matrix–vector product `A x`.
+    ///
+    /// Each row's dot product runs on the four fixed accumulator lanes of
+    /// `dot4`; the reduction order is part of the numeric contract (see
+    /// `dot4`'s docs), fixed and input-independent, so results are
+    /// bit-identical across runs, thread counts, and chunkings.
     pub fn matvec(&self, x: &Vector) -> Result<Vector> {
         if x.len() != self.cols {
             return Err(LinalgError::ShapeMismatch {
@@ -137,9 +142,7 @@ impl Matrix {
             });
         }
         let xs = x.as_slice();
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(xs).map(|(a, b)| a * b).sum::<f64>())
-            .collect())
+        Ok((0..self.rows).map(|i| dot4(self.row(i), xs)).collect())
     }
 
     /// Transposed matrix–vector product `Aᵀ x`.
@@ -233,10 +236,11 @@ impl Matrix {
     /// `GRAM_ROW_BAND · d·(d+1)/2`) for the parallel Gram path to pay for
     /// its fork/join handoff. Tall-but-narrow matrices below this grain ran
     /// *slower* in parallel (BENCH_parallel measured a 0.77× "speedup" at 2
-    /// threads on a `4096×48` input), so they now take the serial path
-    /// unconditionally: with the current band height this requires
-    /// `d ≥ 63`.
-    const GRAM_PAR_GRAIN: usize = 500_000;
+    /// threads on a `4096×48` input, and still 0.70× at 4 threads on
+    /// `4096×96` under the earlier 500k grain), so they take the serial
+    /// path unconditionally: with the current band height this requires
+    /// `d ≥ 139`.
+    const GRAM_PAR_GRAIN: usize = 2_500_000;
 
     /// The Gram matrix `AᵀA` (symmetric positive semidefinite), computed
     /// without materializing `Aᵀ`.
@@ -248,9 +252,11 @@ impl Matrix {
     /// (bounded by normal f64 summation error). Inputs with fewer than two
     /// bands, or too narrow to meet the per-band work grain
     /// (`GRAM_PAR_GRAIN`), take the serial path.
-    // The inner loop reads `row` at two indices (`j` and `k`); an iterator
-    // would hide the upper-triangle structure.
-    #[allow(clippy::needless_range_loop)]
+    ///
+    /// The upper-triangle update is a slice-zip axpy
+    /// (`acc[j·d+j..j·d+d] += rj · row[j..]`): ascending `k`, the same
+    /// additions in the same order as the indexed loop it replaces (so
+    /// bit-identical), but bounds-check-free and autovectorizable.
     pub fn gram(&self) -> Matrix {
         let d = self.cols;
         let mut out = Matrix::zeros(d, d);
@@ -264,14 +270,14 @@ impl Matrix {
                 let mut acc = vec![0.0f64; d * d];
                 for i in band {
                     let row = self.row(i);
-                    for j in 0..d {
-                        let rj = row[j];
+                    for (j, &rj) in row.iter().enumerate() {
                         // LINT-ALLOW(float): exact-zero skip exploits input sparsity.
                         if rj == 0.0 {
                             continue;
                         }
-                        for k in j..d {
-                            acc[j * d + k] += rj * row[k];
+                        let base = j * d;
+                        for (o, &a) in acc[base + j..base + d].iter_mut().zip(&row[j..]) {
+                            *o += rj * a;
                         }
                     }
                 }
@@ -287,15 +293,15 @@ impl Matrix {
         } else {
             for i in 0..self.rows {
                 let row = self.row(i);
-                for j in 0..d {
-                    let rj = row[j];
+                for (j, &rj) in row.iter().enumerate() {
                     // LINT-ALLOW(float): exact-zero skip exploits input sparsity.
                     if rj == 0.0 {
                         continue;
                     }
                     // Only the upper triangle; mirrored below.
-                    for k in j..d {
-                        out.data[j * d + k] += rj * row[k];
+                    let base = j * d;
+                    for (o, &a) in out.data[base + j..base + d].iter_mut().zip(&row[j..]) {
+                        *o += rj * a;
                     }
                 }
             }
@@ -361,6 +367,32 @@ impl Matrix {
     }
 }
 
+/// Dot product on four fixed accumulator lanes.
+///
+/// **Reduction-order contract** (part of the numeric API: pinned by
+/// `dot4_reduction_order_is_the_documented_tree`): element `t` accumulates
+/// into lane `t mod 4` in ascending `t`, the `len % 4` tail elements fold
+/// into lanes `0..` in the same rule, and the lanes reduce as
+/// `(l0 + l1) + (l2 + l3)`. The order never depends on the data, only on
+/// `len`, so every stream is bit-identical across runs, thread counts, and
+/// call sites — while the four independent chains let the compiler keep
+/// the loop in SIMD lanes instead of one serial add chain.
+#[inline]
+fn dot4(a: &[f64], b: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; 4];
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        for ((l, &x), &y) in lanes.iter_mut().zip(ca).zip(cb) {
+            *l += x * y;
+        }
+    }
+    for ((l, &x), &y) in lanes.iter_mut().zip(ac.remainder()).zip(bc.remainder()) {
+        *l += x * y;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +411,29 @@ mod tests {
         let a = sample();
         let x = Vector::from_vec(vec![1.0, 0.0, -1.0]);
         assert_eq!(a.matvec(&x).unwrap().as_slice(), &[-2.0, -2.0]);
+    }
+
+    /// The documented lane tree of [`dot4`], computed by hand with
+    /// non-associative probe values: any future reassociation (which would
+    /// silently change every matvec stream) flips bits here.
+    #[test]
+    fn dot4_reduction_order_is_the_documented_tree() {
+        let a: Vec<f64> = (0..11)
+            .map(|i| 1e16 / (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let b: Vec<f64> = (0..11).map(|i| 1.0 + (i as f64) * 1e-3).collect();
+        for len in 0..=a.len() {
+            let mut lanes = [0.0f64; 4];
+            for (t, (&x, &y)) in a[..len].iter().zip(&b[..len]).enumerate() {
+                lanes[t % 4] += x * y;
+            }
+            let want = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+            assert_eq!(
+                dot4(&a[..len], &b[..len]).to_bits(),
+                want.to_bits(),
+                "len {len}"
+            );
+        }
     }
 
     #[test]
@@ -456,9 +511,9 @@ mod tests {
 
     #[test]
     fn parallel_gram_is_bit_identical_across_thread_counts() {
-        // 64 columns clears the work-grain threshold, so this exercises
-        // the banded parallel path.
-        let a = tall(700, 64);
+        // 160 columns clears the work-grain threshold (`d ≥ 139`), so this
+        // exercises the banded parallel path.
+        let a = tall(700, 160);
         let g2 = mbp_par::with_threads(2, || a.gram());
         let g4 = mbp_par::with_threads(4, || a.gram());
         assert_eq!(g2.as_slice(), g4.as_slice());
@@ -467,7 +522,7 @@ mod tests {
 
     #[test]
     fn parallel_gram_matches_serial_within_reduction_tolerance() {
-        let a = tall(700, 64);
+        let a = tall(700, 160);
         let serial = mbp_par::with_threads(1, || a.gram());
         let par = mbp_par::with_threads(4, || a.gram());
         for (s, p) in serial.as_slice().iter().zip(par.as_slice()) {

@@ -84,6 +84,18 @@ fn lock_fixture_pins_write_guard_overlap_and_descending_order() {
     );
 }
 
+/// The branchless quote-kernel idioms — conditional-move selects via
+/// arithmetic on `bool`, Eytzinger descent with `usize::from`, checked
+/// permutation scatter — must produce zero findings under every rule.
+/// This pins the lint's blind spot deliberately: replacing a branch with
+/// `usize::from(cond)` arithmetic must never require a waiver.
+#[test]
+fn branchless_fixture_is_clean_without_waivers() {
+    let rep = lint_fixture("branchless");
+    assert_eq!(triples(&rep), vec![]);
+    assert!(rep.waivers_used.is_empty());
+}
+
 #[test]
 fn safety_fixture_flags_only_the_undocumented_unsafe() {
     let rep = lint_fixture("safety");

@@ -1,0 +1,45 @@
+//! Fixture: the branchless quote-kernel idioms lint clean (no findings).
+//!
+//! The batch pricing path replaces data-dependent branches with arithmetic
+//! on `bool` (conditional-move selects), descends Eytzinger trees with
+//! `usize::from`, and scatters results through checked permutation
+//! accessors. None of these may trip the panic-freedom, float, or
+//! determinism rules — every access is `.get`/`.get_mut` based and every
+//! float comparison is an ordering, never an equality.
+
+/// Conditional-move select: branch-free `if cond { a } else { b }` over
+/// indices, as used by the Eytzinger descent.
+pub fn select(cond: bool, a: usize, b: usize) -> usize {
+    let c = usize::from(cond);
+    c * a + (1 - c) * b
+}
+
+/// One Eytzinger descent step: `k = 2k + (key <= x)` with no branch.
+pub fn descend(k: usize, key: f64, x: f64) -> usize {
+    2 * k + usize::from(key <= x)
+}
+
+/// Undo the final virtual step and clamp to the last segment without a
+/// data-dependent branch.
+pub fn finish(k: usize, n: usize) -> usize {
+    let undone = k >> (k.trailing_ones() + 1);
+    undone.saturating_sub(1).min(n.saturating_sub(1))
+}
+
+/// Permutation scatter: write `values` back in request order through the
+/// inverse permutation, with checked accessors on both sides.
+pub fn scatter(order: &[u32], values: &[f64], out: &mut [f64]) {
+    for (slot, &v) in order.iter().zip(values) {
+        if let Some(dst) = out.get_mut(slot as usize) {
+            *dst = v;
+        }
+    }
+}
+
+/// Grid lookup fixup: arithmetic comparison folded into the index, no
+/// float equality anywhere.
+pub fn grid_fixup(i: usize, keys: &[f64], x: f64) -> usize {
+    let here = keys.get(i).copied().unwrap_or(f64::INFINITY);
+    let next = keys.get(i + 1).copied().unwrap_or(f64::INFINITY);
+    i + usize::from(next <= x) - usize::from(here > x).min(i)
+}

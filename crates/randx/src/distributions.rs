@@ -21,14 +21,24 @@ pub struct StandardNormal;
 
 impl Distribution<f64> for StandardNormal {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        loop {
+        // The rejection loop is pure bookkeeping — two uniform draws and a
+        // fused multiply-add-free radius test. The transcendental tail
+        // (`ln`, `sqrt`) sits *after* the loop so the hot rejection path
+        // carries no long-latency FP calls and the accept path is a
+        // straight-line dependency chain the compiler can schedule freely.
+        // The accepted `(u, s)` pair and the tail expression are the same
+        // operands in the same order as the fused form, so every stream is
+        // bit-identical to the pre-split sampler (pinned by
+        // `polar_tail_split_is_bit_identical`).
+        let (u, s) = loop {
             let u: f64 = rng.gen_range(-1.0..1.0);
             let v: f64 = rng.gen_range(-1.0..1.0);
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
-                return u * (-2.0 * s.ln() / s).sqrt();
+                break (u, s);
             }
-        }
+        };
+        u * (-2.0 * s.ln() / s).sqrt()
     }
 }
 
@@ -218,9 +228,27 @@ impl Distribution<Vec<f64>> for IsotropicGaussian {
 
 /// A categorical distribution over `0..k` with arbitrary non-negative
 /// weights — buyer-arrival sampling in the market simulators.
+///
+/// Sampling is by inverse CDF with a precomputed **guide table**: the
+/// `[0, total)` axis is cut into `k` equal buckets and each bucket stores
+/// the first cumulative-weight index its draws can land in, so a draw costs
+/// one table load plus a short forward scan (O(1) expected for non-adversarial
+/// weights) instead of a branchy `partition_point` over the whole CDF.
+///
+/// A Walker alias table would also be O(1) but maps the uniform draw to a
+/// *different* category than the CDF walk does, changing every sampled
+/// sequence; the guide table keeps the draw (`gen_range(0.0..total)`) and
+/// the acceptance predicate (`cumulative[i] <= u`) identical, so streams
+/// are bit-for-bit what the `partition_point` sampler produced (pinned by
+/// `categorical_guide_table_matches_partition_point_sequence`).
 #[derive(Debug, Clone)]
 pub struct Categorical {
     cumulative: Vec<f64>,
+    /// `guide[b]` = `partition_point(|c| c <= total·b/k)`: the first index a
+    /// draw in bucket `b` can resolve to. `guide[k]` = `len - 1` caps the
+    /// clamp bucket.
+    guide: Vec<u32>,
+    total: f64,
 }
 
 impl Categorical {
@@ -235,6 +263,10 @@ impl Categorical {
             weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
             "weights must be finite and >= 0"
         );
+        assert!(
+            weights.len() < u32::MAX as usize,
+            "too many categories for the guide table"
+        );
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
@@ -242,7 +274,18 @@ impl Categorical {
             cumulative.push(acc);
         }
         assert!(acc > 0.0, "total weight must be positive");
-        Categorical { cumulative }
+        let k = cumulative.len();
+        let mut guide = Vec::with_capacity(k + 1);
+        for b in 0..k {
+            let edge = acc * (b as f64 / k as f64);
+            guide.push(cumulative.partition_point(|&c| c <= edge) as u32);
+        }
+        guide.push((k - 1) as u32);
+        Categorical {
+            cumulative,
+            guide,
+            total: acc,
+        }
     }
 
     /// Number of categories.
@@ -259,11 +302,20 @@ impl Categorical {
 
 impl Distribution<usize> for Categorical {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let total = *self.cumulative.last().expect("non-empty");
-        let u: f64 = rng.gen_range(0.0..total);
-        self.cumulative
-            .partition_point(|&c| c <= u)
-            .min(self.cumulative.len() - 1)
+        let u: f64 = rng.gen_range(0.0..self.total);
+        // Bucket of u: since u ∈ [0, total), u/total·k ∈ [0, k) and the
+        // float→usize cast floors (saturating at 0 for any pathological
+        // negative), so b indexes a real bucket; min is belt-and-braces.
+        let k = self.cumulative.len();
+        let b = (((u / self.total) * k as f64) as usize).min(k - 1);
+        // Start at the bucket's precomputed first index and scan forward
+        // with the same predicate partition_point used: the result is the
+        // count of cumulative entries <= u, exactly.
+        let mut i = self.guide.get(b).map_or(0, |&g| g as usize);
+        while self.cumulative.get(i).is_some_and(|&c| c <= u) {
+            i += 1;
+        }
+        i.min(k - 1)
     }
 }
 
@@ -396,5 +448,68 @@ mod tests {
     #[should_panic(expected = "total weight")]
     fn categorical_rejects_all_zero() {
         Categorical::new(&[0.0, 0.0]);
+    }
+
+    /// The guide-table sampler must reproduce the `partition_point`
+    /// sampler's output stream bit for bit: same draws, same categories,
+    /// across skewed, uniform, and zero-weight-containing CDFs.
+    #[test]
+    fn categorical_guide_table_matches_partition_point_sequence() {
+        // Reference: the pre-guide-table sampler, verbatim.
+        fn reference<R: Rng + ?Sized>(cumulative: &[f64], rng: &mut R) -> usize {
+            let total = *cumulative.last().expect("non-empty");
+            let u: f64 = rng.gen_range(0.0..total);
+            cumulative
+                .partition_point(|&c| c <= u)
+                .min(cumulative.len() - 1)
+        }
+        let weight_sets: &[&[f64]] = &[
+            &[1.0, 3.0, 0.0, 6.0],
+            &[5.0],
+            &[1.0; 17],
+            &[1e-9, 1.0, 1e-9, 1e9, 2.0],
+            &[0.0, 0.0, 1.0, 0.0],
+            &[0.3, 0.3, 0.3, 0.1],
+        ];
+        for (si, &weights) in weight_sets.iter().enumerate() {
+            let cat = Categorical::new(weights);
+            let mut cumulative = Vec::new();
+            let mut acc = 0.0;
+            for &w in weights {
+                acc += w;
+                cumulative.push(acc);
+            }
+            let mut rng_new = seeded_rng(17 + si as u64);
+            let mut rng_ref = seeded_rng(17 + si as u64);
+            for draw in 0..2000 {
+                let got = cat.sample(&mut rng_new);
+                let want = reference(&cumulative, &mut rng_ref);
+                assert_eq!(got, want, "weights #{si}, draw {draw}");
+            }
+        }
+    }
+
+    /// Splitting the transcendental tail out of the polar rejection loop
+    /// must not change a single bit of any stream.
+    #[test]
+    fn polar_tail_split_is_bit_identical() {
+        // Reference: the fused-loop sampler, verbatim.
+        fn reference<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            loop {
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                let s = u * u + v * v;
+                if s > 0.0 && s < 1.0 {
+                    return u * (-2.0 * s.ln() / s).sqrt();
+                }
+            }
+        }
+        let mut rng_new = seeded_rng(0x90_1A8);
+        let mut rng_ref = seeded_rng(0x90_1A8);
+        for draw in 0..5000 {
+            let got = StandardNormal.sample(&mut rng_new);
+            let want = reference(&mut rng_ref);
+            assert_eq!(got.to_bits(), want.to_bits(), "draw {draw}");
+        }
     }
 }
