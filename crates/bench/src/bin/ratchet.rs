@@ -6,14 +6,15 @@
 //! Knobs: `MBP_BASELINE_DIR` (where the committed artifacts live, default
 //! `.`), `MBP_RATCHET_TOL` / `MBP_RATCHET_RATIO_TOL` (widen the
 //! absolute-latency and ratio bands for slow or shared runners),
-//! `MBP_SERVE_QUOTES` / `MBP_KERNEL_LOOKUPS` / `MBP_ATTACK_TRIALS` /
+//! `MBP_SERVE_QUOTES` / `MBP_NET_REQUESTS` / `MBP_KERNEL_LOOKUPS` /
+//! `MBP_ATTACK_TRIALS` /
 //! `MBP_TRACE_QUOTES` (fresh-run sizes), and `MBP_TRACE_BUDGET_DISABLED` /
 //! `MBP_TRACE_BUDGET_ENABLED` (fresh-run overhead budgets; the committed
 //! artifact is always held to the strict 2% / 10% contract).
 
 use mbp_bench::ratchet::{
-    check_trace_overhead, compare_kernel, compare_serving, compare_testkit, RatchetConfig,
-    RatchetReport,
+    check_trace_overhead, compare_kernel, compare_serve_net, compare_serving, compare_testkit,
+    RatchetConfig, RatchetReport,
 };
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -87,6 +88,23 @@ fn main() {
         }
         Err(e) => {
             println!("[serving] ERROR: {e}");
+            failed = true;
+        }
+    }
+
+    match read_baseline(&dir, "BENCH_serve_net.json") {
+        Ok(committed) => {
+            let per_conn = env_usize("MBP_NET_REQUESTS", 512);
+            println!("measuring network serving baseline ({per_conn} requests/conn)...");
+            let fresh = mbp_bench::netbench::run(per_conn).to_json();
+            check(
+                "serve-net",
+                compare_serve_net(&committed, &fresh, &cfg),
+                &mut failed,
+            );
+        }
+        Err(e) => {
+            println!("[serve-net] ERROR: {e}");
             failed = true;
         }
     }

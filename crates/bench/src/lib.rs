@@ -21,6 +21,7 @@
 pub mod attackbench;
 pub mod experiments;
 pub mod kernelbench;
+pub mod netbench;
 pub mod parbench;
 pub mod ratchet;
 pub mod report;

@@ -524,6 +524,90 @@ pub fn compare_serving(
     Ok(report)
 }
 
+/// Indexes the `sweep` array of a `BENCH_serve_net.json` by connection
+/// count.
+fn by_conns<'j>(doc: &'j Json, key: &str) -> Result<BTreeMap<u64, &'j Json>, String> {
+    let arr = doc
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field '{key}'"))?;
+    let mut map = BTreeMap::new();
+    for item in arr {
+        let conns = item
+            .get("connections")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("'{key}' entry without a connection count"))?;
+        map.insert(conns as u64, item);
+    }
+    Ok(map)
+}
+
+/// Diffs a fresh `BENCH_serve_net.json` against the committed baseline.
+///
+/// `batch_admission_speedup` is a same-process measurement ratio and
+/// ratchets under `ratio_tolerance`, with a **hard floor of 2.0 on the
+/// committed artifact**: the daemon's coalesced dispatch must beat
+/// one-kernel-call-per-request serving at least 2x, and a regeneration
+/// that fails to clear that floor fails CI instead of lowering the bar.
+/// Saturation RPS and per-sweep-point p99s are machine-dependent and get
+/// the wide `p99_tolerance` band. `deterministic` (every sweep point
+/// reproduced its response digest) and `per_request_matches_batched`
+/// (batch coalescing changed no response bytes) must hold in the fresh
+/// run unconditionally.
+pub fn compare_serve_net(
+    baseline_json: &str,
+    fresh_json: &str,
+    cfg: &RatchetConfig,
+) -> Result<RatchetReport, String> {
+    let base = parse_json(baseline_json)?;
+    let fresh = parse_json(fresh_json)?;
+    let mut report = RatchetReport::default();
+
+    report.ratio_floor(
+        "batch_admission_speedup",
+        num_field(&base, "batch_admission_speedup")?,
+        num_field(&fresh, "batch_admission_speedup")?,
+        cfg.ratio_tolerance,
+    );
+    report.hard_floor(
+        "batch_admission_speedup.hard_floor",
+        2.0,
+        num_field(&base, "batch_admission_speedup")?,
+    );
+    report.ratio_floor(
+        "saturation_rps",
+        num_field(&base, "saturation_rps")?,
+        num_field(&fresh, "saturation_rps")?,
+        cfg.p99_tolerance,
+    );
+    report.invariant(
+        "deterministic",
+        bool_field(&fresh, "deterministic").unwrap_or(false),
+    );
+    report.invariant(
+        "per_request_matches_batched",
+        bool_field(&fresh, "per_request_matches_batched").unwrap_or(false),
+    );
+
+    let base_sweep = by_conns(&base, "sweep")?;
+    let fresh_sweep = by_conns(&fresh, "sweep")?;
+    for (conns, base_p) in &base_sweep {
+        let Some(fresh_p) = fresh_sweep.get(conns) else {
+            report
+                .failures
+                .push(format!("sweep point @{conns} conns missing from fresh run"));
+            continue;
+        };
+        report.latency_ceiling(
+            &format!("sweep.{conns}conns.p99_micros"),
+            num_field(base_p, "p99_micros")?,
+            num_field(fresh_p, "p99_micros")?,
+            cfg.p99_tolerance,
+        );
+    }
+    Ok(report)
+}
+
 /// Diffs a fresh `BENCH_testkit.json` against the committed baseline.
 pub fn compare_testkit(
     baseline_json: &str,
@@ -657,6 +741,7 @@ mod tests {
     const SERVING: &str = include_str!("../../../BENCH_serving.json");
     const TESTKIT: &str = include_str!("../../../BENCH_testkit.json");
     const KERNEL: &str = include_str!("../../../BENCH_kernel.json");
+    const SERVE_NET: &str = include_str!("../../../BENCH_serve_net.json");
 
     #[test]
     fn parser_round_trips_committed_baselines() {
@@ -707,6 +792,65 @@ mod tests {
         assert!(report.pass(), "{}", report.render());
         let report = compare_kernel(KERNEL, KERNEL, &cfg).expect("comparable");
         assert!(report.pass(), "{}", report.render());
+        let report = compare_serve_net(SERVE_NET, SERVE_NET, &cfg).expect("comparable");
+        assert!(report.pass(), "{}", report.render());
+    }
+
+    /// Acceptance: the committed network baseline must show batch
+    /// admission beating per-request dispatch at least 2x, and a baseline
+    /// doctored below that floor fails its own self-compare.
+    #[test]
+    fn serve_net_hard_floor_binds_the_committed_artifact() {
+        let cfg = RatchetConfig::default();
+        let base = parse_json(SERVE_NET).expect("parses");
+        let speedup = base
+            .get("batch_admission_speedup")
+            .and_then(Json::as_f64)
+            .expect("ratio present");
+        assert!(
+            speedup >= 2.0,
+            "committed batch_admission_speedup {speedup} under the 2.0 floor"
+        );
+        let needle = format!("\"batch_admission_speedup\": {speedup:.4}");
+        let doctored = SERVE_NET.replacen(&needle, "\"batch_admission_speedup\": 1.5000", 1);
+        assert_ne!(doctored, SERVE_NET, "injection must change the document");
+        let report = compare_serve_net(&doctored, &doctored, &cfg).expect("comparable");
+        assert!(!report.pass(), "sub-2.0 admission speedup must fail");
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("hard floor") && f.contains("batch_admission_speedup")),
+            "failure must name the hard floor: {:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn serve_net_ratchet_fails_on_broken_determinism_and_missing_point() {
+        let cfg = RatchetConfig::default();
+        // A digest mismatch in the fresh run is always fatal.
+        let broken = SERVE_NET.replacen(
+            "\"per_request_matches_batched\": true",
+            "\"per_request_matches_batched\": false",
+            1,
+        );
+        assert_ne!(broken, SERVE_NET);
+        let report = compare_serve_net(SERVE_NET, &broken, &cfg).expect("comparable");
+        assert!(!report.pass(), "digest divergence must fail");
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("per_request_matches_batched")));
+        // A dropped sweep point is fatal too.
+        let dropped = SERVE_NET.replacen("\"connections\": 16", "\"connections\": 17", 1);
+        assert_ne!(dropped, SERVE_NET);
+        let report = compare_serve_net(SERVE_NET, &dropped, &cfg).expect("comparable");
+        assert!(!report.pass(), "missing sweep point must fail");
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("missing from fresh run")));
     }
 
     /// The committed serving artifact must clear the absolute hard floors —

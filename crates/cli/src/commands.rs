@@ -96,6 +96,15 @@ COMMANDS:
             [--jsonl SPANS_JSONL]   trace_event JSON (inline unless --out)
   predict   --model MODEL_TSV     score a CSV with a saved model instance
             --csv F
+  serve     [--port P] [--host H]  boot the TCP marketplace daemon: trains
+            [--metrics-port P]     and publishes one listing (synthetic
+            [--csv F] [--model M]  data unless --csv; priced 10·√x over
+            [--seed S] [--ridge MU] --grid), then serves quote/buy/publish
+            [--grid lo,hi,n]       over the length-prefixed wire protocol
+            [--queue-limit N]      until a Shutdown frame or SIGTERM
+            [--idle-timeout-ms T]  drains it; --metrics-port exposes
+            [--no-batch]           GET /metrics (Prometheus); --no-batch
+                                   disables batch admission (baseline)
   lint      [--root DIR]          static-analysis pass over the workspace
             [--baseline FILE]     (determinism, panic-freedom, float
                                   discipline, lock order, unsafe audit);
@@ -207,9 +216,81 @@ fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("simulate") => cmd_simulate(args),
         Some("trace") => cmd_trace(args),
         Some("predict") => cmd_predict(args),
+        Some("serve") => cmd_serve(args),
         Some("lint") => cmd_lint(args),
         Some(other) => Err(CliError::UnknownCommand(other.to_string())),
     }
+}
+
+/// `mbp-market serve`: boot the TCP marketplace daemon.
+///
+/// Trains and publishes one listing (synthetic Simulated1 data unless
+/// `--csv` is given, priced `10·√x` over `--grid`), binds the wire
+/// protocol on `--host:--port`, and blocks until a `Shutdown` control
+/// frame or SIGTERM triggers the graceful drain. The report printed on
+/// exit summarizes connections accepted and requests served.
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    use mbp_core::error::SquareLossTransform;
+    use mbp_core::market::concurrent::SharedBroker;
+    use mbp_core::market::Broker;
+
+    // A daemon is long-running and its /metrics endpoint serves the live
+    // registry, so observability is always on for this command.
+    mbp_obs::enable();
+
+    let seed = args.get_u64("seed", 7)?;
+    let mut rng = seeded_rng(seed);
+    let ds = match args.get("csv") {
+        Some(p) => load_csv(p)?,
+        None => mbp_data::synth::simulated1(600, 4, 0.5, &mut rng),
+    };
+    let kind = match args.get("model") {
+        Some(raw) => parse_model(raw)?,
+        None => mbp_ml::ModelKind::LinearRegression,
+    };
+    let ridge = args.get_f64("ridge", 1e-6)?;
+    let grid = args.get_grid("grid", (1.0, 129.0, 512))?;
+    let prices: Vec<f64> = grid.iter().map(|x| 10.0 * x.sqrt()).collect();
+    let pricing =
+        PricingFunction::from_points(grid, prices).map_err(|e| CliError::Market(e.to_string()))?;
+
+    let tt = ds.split(0.75, &mut rng);
+    let mut broker = Broker::new(tt);
+    broker
+        .support(kind, ridge)
+        .map_err(|e| CliError::Market(e.to_string()))?;
+    broker
+        .publish(kind, pricing, Box::new(SquareLossTransform))
+        .map_err(|e| CliError::Market(e.to_string()))?;
+
+    let host = args.get("host").unwrap_or("127.0.0.1");
+    let port = args.get_u64("port", 7878)?;
+    let metrics_port = args.get_u64("metrics-port", 0)?;
+    let cfg = mbp_serve::ServerConfig {
+        addr: format!("{host}:{port}"),
+        metrics_addr: (metrics_port != 0).then(|| format!("{host}:{metrics_port}")),
+        io_threads: 0, // resolved from --threads / MBP_THREADS by mbp-par
+        batch_admission: !args.get_bool("no-batch"),
+        queue_limit: args.get_usize("queue-limit", 1024)?,
+        idle_timeout: std::time::Duration::from_millis(args.get_u64("idle-timeout-ms", 30_000)?),
+        handle_sigterm: true,
+    };
+    let handle = mbp_serve::start(SharedBroker::new(broker), cfg)
+        .map_err(|e| CliError::Market(e.to_string()))?;
+    println!(
+        "mbp-serve listening on {} (model {})",
+        handle.addr(),
+        kind.name()
+    );
+    if let Some(maddr) = handle.metrics_addr() {
+        println!("metrics on http://{maddr}/metrics");
+    }
+    let stats = handle.wait();
+    let mut out = String::new();
+    writeln!(out, "drained after graceful shutdown").unwrap();
+    writeln!(out, "connections\t{}", stats.connections).unwrap();
+    writeln!(out, "requests\t{}", stats.requests).unwrap();
+    Ok(out)
 }
 
 /// `mbp-market lint`: run the workspace static-analysis pass.

@@ -287,6 +287,49 @@ impl PriceErrorCurve {
 /// per-request rejection, in request order.
 pub type QuoteBatch = Vec<Result<(Sale, Transaction), MarketError>>;
 
+/// Maximum number of requests accepted by one batch call.
+///
+/// Every batch entry point ([`Broker::quote_batch`], [`Broker::buy_batch`],
+/// [`Broker::buy_batch_into`], [`Broker::quote_batch_into`],
+/// [`Broker::price_batch`] and the `SharedBroker` wrappers) rejects empty
+/// batches and batches larger than this cap with
+/// [`MarketError::BadRequest`] before resolving the listing. The cap bounds
+/// how much work a single caller can queue behind one shared read guard
+/// (and, through `mbp-serve`, behind one connection's dispatch turn); the
+/// empty-batch rejection turns a front-end bookkeeping bug into a typed
+/// error instead of a silent no-op that still pays the listing lookup.
+pub const MAX_BATCH: usize = 4096;
+
+/// Shared admission check for all batch entry points: empty and oversized
+/// batches are a caller error, reported before any listing state is read.
+fn check_batch(requests: &[PurchaseRequest]) -> Result<(), MarketError> {
+    if requests.is_empty() {
+        return Err(MarketError::BadRequest(
+            "empty batch: batch entry points require at least one request".to_string(),
+        ));
+    }
+    if requests.len() > MAX_BATCH {
+        return Err(MarketError::BadRequest(format!(
+            "batch of {} requests exceeds the MAX_BATCH cap of {MAX_BATCH}",
+            requests.len()
+        )));
+    }
+    Ok(())
+}
+
+/// A priced-but-not-purchased resolution of one [`PurchaseRequest`]: the
+/// quote path of the network protocol. No model is released, no noise is
+/// drawn, and the ledger is untouched, so producing one consumes no RNG.
+#[derive(Debug, Clone, Copy)]
+pub struct PriceQuote {
+    /// Resolved noise control parameter.
+    pub ncp: f64,
+    /// Price at that NCP under the published listing.
+    pub price: f64,
+    /// Expected buyer-facing error at that NCP.
+    pub expected_error: f64,
+}
+
 struct MenuEntry {
     model: LinearModel,
     /// Ridge coefficient the instance was trained with. Re-supporting
@@ -507,6 +550,7 @@ impl Broker {
         requests: &[PurchaseRequest],
         rng: &mut MbpRng,
     ) -> Result<QuoteBatch, MarketError> {
+        check_batch(requests)?;
         let _span = mbp_obs::span("mbp.core.buy_batch");
         // The whole batch is driven by one RNG, so every per-request trace
         // root carries the batch's replay seed: a slow quote anywhere in
@@ -630,6 +674,7 @@ impl Broker {
         rng: &mut MbpRng,
         arena: &mut SaleArena,
     ) -> Result<(), MarketError> {
+        check_batch(requests)?;
         let _span = mbp_obs::span("mbp.core.buy_batch");
         let batch_seed = if mbp_obs::is_tracing() {
             mbp_obs::trace::take_request_seed()
@@ -714,6 +759,155 @@ impl Broker {
         mbp_obs::counter_add("mbp.core.buy.rejected", requests.len() as u64 - served);
         mbp_obs::gauge_add("mbp.core.revenue.total", revenue);
         Ok(())
+    }
+
+    /// Settlement-free variant of [`Broker::buy_batch_into`] for callers
+    /// that hold only shared access (the `SharedBroker` network path):
+    /// runs the identical three-pass binned kernel into `arena` — resolve,
+    /// binned pricing, noise in request order — but leaves the ledger
+    /// untouched, so the caller settles the arena's successful sales
+    /// itself (e.g. under a single stripe lock).
+    ///
+    /// Prices, noise draws, and RNG consumption are bit-identical to
+    /// [`Broker::buy_batch_into`] and to a sequential
+    /// [`Broker::buy_listed`] loop; only the ledger side effect is split
+    /// out.
+    pub fn quote_batch_into(
+        &self,
+        kind: ModelKind,
+        requests: &[PurchaseRequest],
+        rng: &mut MbpRng,
+        arena: &mut SaleArena,
+    ) -> Result<(), MarketError> {
+        check_batch(requests)?;
+        let _span = mbp_obs::span("mbp.core.buy_batch");
+        let batch_seed = if mbp_obs::is_tracing() {
+            mbp_obs::trace::take_request_seed()
+        } else {
+            0
+        };
+        let listing = self
+            .listings
+            .get(&kind)
+            .ok_or(MarketError::UnsupportedModel(kind))?;
+        let entry = self
+            .menu
+            .get(&kind)
+            .ok_or(MarketError::UnsupportedModel(kind))?;
+        mbp_obs::counter_add("mbp.core.pricing.table_hit", requests.len() as u64);
+        let pricing = PricePath::Table(&listing.table);
+        // Pass 1 — resolve (no RNG), recording precision 1/δ per request.
+        let resolve_span = mbp_obs::span("mbp.core.buy_batch.resolve");
+        arena.len = requests.len();
+        arena.outcomes.clear();
+        arena.xs.clear();
+        for &request in requests {
+            let r = resolve_ncp(
+                &pricing,
+                Some(&listing.phi),
+                listing.transform.as_ref(),
+                request,
+            );
+            arena.xs.push(r.as_ref().map_or(f64::NAN, |&d| 1.0 / d));
+            arena.outcomes.push(r);
+        }
+        drop(resolve_span);
+        // Pass 2 — binned pricing into the arena's price buffer.
+        let price_span = mbp_obs::span("mbp.core.buy_batch.price");
+        listing
+            .table
+            .price_at_batch(&arena.xs, &mut arena.scratch, &mut arena.prices);
+        drop(price_span);
+        // Grow the Sale pool to the batch size (warm-up cost only).
+        while arena.sales.len() < requests.len() {
+            arena.sales.push(Sale {
+                model: entry.model.clone(),
+                price: 0.0,
+                ncp: 0.0,
+                expected_error: 0.0,
+            });
+        }
+        // Pass 3 — noise, strictly in request order (identical RNG stream
+        // to the settling variant; the ledger push is the caller's job).
+        let mut served = 0u64;
+        let mut revenue = 0.0;
+        for (i, (outcome, sale)) in arena
+            .outcomes
+            .iter()
+            .zip(arena.sales.iter_mut())
+            .enumerate()
+        {
+            let Ok(&ncp) = outcome.as_ref() else { continue };
+            let trace = mbp_obs::trace_root(
+                "mbp.core.buy",
+                kind_label(kind),
+                self.mechanism.name(),
+                batch_seed,
+            );
+            let price = arena.prices.get(i).copied().unwrap_or(0.0);
+            if sale.model.kind() != kind || sale.model.dim() != entry.model.dim() {
+                sale.model = entry.model.clone();
+            }
+            let noise = trace.phase(mbp_obs::Phase::Noise);
+            self.mechanism
+                .perturb_into(entry.model.weights(), ncp, rng, sale.model.weights_mut());
+            drop(noise);
+            sale.price = price;
+            sale.ncp = ncp;
+            sale.expected_error = listing.transform.expected_error(ncp);
+            served += 1;
+            revenue += price;
+        }
+        mbp_obs::counter_add("mbp.core.buy.count", served);
+        mbp_obs::counter_add("mbp.core.buy.rejected", requests.len() as u64 - served);
+        mbp_obs::gauge_add("mbp.core.revenue.total", revenue);
+        Ok(())
+    }
+
+    /// Prices a batch of requests without purchasing: the network quote
+    /// path. Resolution and binned pricing run exactly as in
+    /// [`Broker::quote_batch`] (passes 1–2 of the kernel), but no model is
+    /// released, no RNG is consumed, and the ledger is untouched — so a
+    /// quote storm cannot perturb the noise stream of interleaved buys.
+    pub fn price_batch(
+        &self,
+        kind: ModelKind,
+        requests: &[PurchaseRequest],
+    ) -> Result<Vec<Result<PriceQuote, MarketError>>, MarketError> {
+        check_batch(requests)?;
+        let _span = mbp_obs::span("mbp.core.price_batch");
+        let listing = self
+            .listings
+            .get(&kind)
+            .ok_or(MarketError::UnsupportedModel(kind))?;
+        mbp_obs::counter_add("mbp.core.pricing.table_hit", requests.len() as u64);
+        let pricing = PricePath::Table(&listing.table);
+        let mut resolved: Vec<Result<f64, MarketError>> = Vec::with_capacity(requests.len());
+        let mut xs: Vec<f64> = Vec::with_capacity(requests.len());
+        for &request in requests {
+            let r = resolve_ncp(
+                &pricing,
+                Some(&listing.phi),
+                listing.transform.as_ref(),
+                request,
+            );
+            xs.push(r.as_ref().map_or(f64::NAN, |&d| 1.0 / d));
+            resolved.push(r);
+        }
+        let mut scratch = BatchScratch::default();
+        let mut prices: Vec<f64> = Vec::new();
+        listing.table.price_at_batch(&xs, &mut scratch, &mut prices);
+        Ok(resolved
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.map(|ncp| PriceQuote {
+                    ncp,
+                    price: prices.get(i).copied().unwrap_or(0.0),
+                    expected_error: listing.transform.expected_error(ncp),
+                })
+            })
+            .collect())
     }
 
     /// Pre-allocates ledger capacity for `additional` upcoming

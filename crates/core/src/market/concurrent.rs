@@ -19,7 +19,9 @@
 //! strictly less contention on the same workload.
 
 use crate::error::ErrorTransform;
-use crate::market::agents::{kind_label, Broker, MarketError, PurchaseRequest, Sale, Transaction};
+use crate::market::agents::{
+    kind_label, Broker, MarketError, PriceQuote, PurchaseRequest, Sale, SaleArena, Transaction,
+};
 use crate::pricing::PricingFunction;
 use mbp_ml::ModelKind;
 use mbp_randx::MbpRng;
@@ -143,6 +145,63 @@ impl SharedBroker {
                 })
             })
             .collect())
+    }
+
+    /// Zero-allocation thread-safe batch purchase: the network serving
+    /// path. The three-pass kernel runs into `arena` under a shared read
+    /// guard via [`Broker::quote_batch_into`] (no ledger mutation), then
+    /// the successful sales settle under a *single* stripe-lock
+    /// acquisition. Prices, noise draws, and RNG consumption are
+    /// bit-identical to [`Broker::buy_batch_into`] on an unshared broker;
+    /// only where the transactions park differs (a stripe instead of the
+    /// core ledger), and [`SharedBroker::with_broker`] reconciles that.
+    pub fn buy_batch_into(
+        &self,
+        kind: ModelKind,
+        requests: &[PurchaseRequest],
+        rng: &mut MbpRng,
+        arena: &mut SaleArena,
+    ) -> Result<(), MarketError> {
+        {
+            let core = match self.inner.core.try_read() {
+                Some(g) => g,
+                None => {
+                    self.note_contention();
+                    let _wait = mbp_obs::phase_for(mbp_obs::Phase::LockWait, kind_label(kind), "-");
+                    self.inner.core.read()
+                }
+            };
+            core.quote_batch_into(kind, requests, rng, arena)?;
+        }
+        let _settle = mbp_obs::phase_for(mbp_obs::Phase::Ledger, kind_label(kind), "-");
+        let mut guard = self.lock_next_stripe(kind_label(kind));
+        for sale in arena.results().flatten() {
+            guard.push(Transaction {
+                kind,
+                ncp: sale.ncp,
+                price: sale.price,
+            });
+        }
+        Ok(())
+    }
+
+    /// Thread-safe batched quote-only path (no purchase, no RNG, no
+    /// ledger): resolves and prices every request under a shared read
+    /// guard via [`Broker::price_batch`].
+    pub fn price_batch(
+        &self,
+        kind: ModelKind,
+        requests: &[PurchaseRequest],
+    ) -> Result<Vec<Result<PriceQuote, MarketError>>, MarketError> {
+        let core = match self.inner.core.try_read() {
+            Some(g) => g,
+            None => {
+                self.note_contention();
+                let _wait = mbp_obs::phase_for(mbp_obs::Phase::LockWait, kind_label(kind), "-");
+                self.inner.core.read()
+            }
+        };
+        core.price_batch(kind, requests)
     }
 
     /// Thread-safe purchase; each calling thread supplies its own RNG.

@@ -22,6 +22,6 @@ pub mod epochs;
 pub mod simulation;
 
 pub use agents::{
-    Broker, Buyer, MarketError, PriceErrorCurve, PriceErrorPoint, PurchaseRequest, QuoteBatch,
-    Sale, SaleArena, Seller, Transaction,
+    Broker, Buyer, MarketError, PriceErrorCurve, PriceErrorPoint, PriceQuote, PurchaseRequest,
+    QuoteBatch, Sale, SaleArena, Seller, Transaction, MAX_BATCH,
 };

@@ -219,9 +219,13 @@ pub fn simulate_market_batched(
         // every batch's traces carry it as the replay seed: re-running the
         // season from a slow exemplar's seed reproduces the quote.
         mbp_obs::set_request_seed(master_seed);
-        for result in broker.buy_batch(kind, &requests, &mut noise_rng)? {
-            result?;
-            served += 1;
+        // A chunk where every buyer declined yields no requests; batch
+        // entry points reject empty batches as a caller error, so skip.
+        if !requests.is_empty() {
+            for result in broker.buy_batch(kind, &requests, &mut noise_rng)? {
+                result?;
+                served += 1;
+            }
         }
         remaining -= take;
     }

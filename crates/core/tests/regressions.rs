@@ -120,3 +120,90 @@ fn regression_price_error_curve_rejects_nonpositive_and_nan_ncps() {
     assert_eq!(curve.points.len(), 4);
     assert!(curve.is_well_formed());
 }
+
+/// PR 8 batch-admission hardening: before `MAX_BATCH`, a network front-end
+/// bug could dispatch an empty batch (paying the listing lookup for a
+/// silent no-op) or queue an unbounded batch behind a single shared read
+/// guard. Both are now rejected up front as `BadRequest` by every batch
+/// entry point — `quote_batch`, `buy_batch`, `buy_batch_into`,
+/// `quote_batch_into`, `price_batch`, and the `SharedBroker` wrappers —
+/// while batches of exactly `MAX_BATCH` requests still serve.
+#[test]
+fn regression_batch_entry_points_reject_empty_and_oversized_batches() {
+    use mbp_core::market::concurrent::SharedBroker;
+    use mbp_core::market::{PurchaseRequest, SaleArena, MAX_BATCH};
+
+    let mut rng = seeded_rng(4242);
+    let ds = synth::simulated1(200, 4, 0.5, &mut rng);
+    let mut broker = Broker::new(ds.split(0.75, &mut rng));
+    broker.support(ModelKind::LinearRegression, 1e-6).unwrap();
+    let grid: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+    let prices: Vec<f64> = grid.iter().map(|x| 10.0 * x.sqrt()).collect();
+    let pricing = PricingFunction::from_points(grid, prices).unwrap();
+    broker
+        .publish(
+            ModelKind::LinearRegression,
+            pricing,
+            Box::new(SquareLossTransform),
+        )
+        .unwrap();
+
+    let kind = ModelKind::LinearRegression;
+    let oversized = vec![PurchaseRequest::AtNcp(1.0); MAX_BATCH + 1];
+    let mut arena = SaleArena::new();
+
+    // Empty and oversized batches: typed BadRequest from every entry point,
+    // with no RNG consumed and no ledger growth.
+    let rng_probe = |rng: &mut mbp_randx::MbpRng| {
+        use rand::Rng;
+        rng.clone().gen_range(0.0..1.0f64).to_bits()
+    };
+    let before_draw = rng_probe(&mut rng);
+    for requests in [&[][..], &oversized[..]] {
+        let err = broker.quote_batch(kind, requests, &mut rng).unwrap_err();
+        assert!(matches!(err, MarketError::BadRequest(_)), "{err:?}");
+        let err = broker.buy_batch(kind, requests, &mut rng).unwrap_err();
+        assert!(matches!(err, MarketError::BadRequest(_)), "{err:?}");
+        let err = broker
+            .buy_batch_into(kind, requests, &mut rng, &mut arena)
+            .unwrap_err();
+        assert!(matches!(err, MarketError::BadRequest(_)), "{err:?}");
+        let err = broker
+            .quote_batch_into(kind, requests, &mut rng, &mut arena)
+            .unwrap_err();
+        assert!(matches!(err, MarketError::BadRequest(_)), "{err:?}");
+        let err = broker.price_batch(kind, requests).unwrap_err();
+        assert!(matches!(err, MarketError::BadRequest(_)), "{err:?}");
+    }
+    assert_eq!(
+        rng_probe(&mut rng),
+        before_draw,
+        "rejected batches must not consume RNG"
+    );
+    assert!(
+        broker.ledger().is_empty(),
+        "rejected batches must not settle"
+    );
+
+    let shared = SharedBroker::new(broker);
+    for requests in [&[][..], &oversized[..]] {
+        let err = shared.buy_batch(kind, requests, &mut rng).unwrap_err();
+        assert!(matches!(err, MarketError::BadRequest(_)), "{err:?}");
+        let err = shared
+            .buy_batch_into(kind, requests, &mut rng, &mut arena)
+            .unwrap_err();
+        assert!(matches!(err, MarketError::BadRequest(_)), "{err:?}");
+        let err = shared.price_batch(kind, requests).unwrap_err();
+        assert!(matches!(err, MarketError::BadRequest(_)), "{err:?}");
+    }
+    assert_eq!(shared.sales_count(), 0);
+
+    // Exactly MAX_BATCH requests is the documented cap and still serves.
+    let full = vec![PurchaseRequest::AtNcp(1.0); MAX_BATCH];
+    shared
+        .buy_batch_into(kind, &full, &mut rng, &mut arena)
+        .unwrap();
+    assert_eq!(arena.len(), MAX_BATCH);
+    assert!(arena.results().all(|r| r.is_ok()));
+    assert_eq!(shared.sales_count(), MAX_BATCH);
+}

@@ -87,6 +87,13 @@ const NONINDEX_KEYWORDS: &[&str] = &[
 ];
 
 /// Crates whose source must be free of wall-clock / entropy calls.
+///
+/// The serve daemon's decode/dispatch modules (`wire.rs`, `conn.rs`) are
+/// in scope too: request handling must be a pure function of the byte
+/// stream and the connection's Hello seed. The accept/IO loop
+/// (`server.rs`) legitimately reads `Instant::now` for idle timeouts and
+/// deliberately stays outside the scope rather than burning a waiver —
+/// timeouts affect *when* work happens, never *what* it computes.
 fn det_time_scope(path: &str) -> bool {
     const PREFIXES: &[&str] = &[
         "crates/core/src/",
@@ -97,6 +104,10 @@ fn det_time_scope(path: &str) -> bool {
         "crates/data/src/",
     ];
     PREFIXES.iter().any(|p| path.starts_with(p))
+        || matches!(
+            path,
+            "crates/serve/src/wire.rs" | "crates/serve/src/conn.rs"
+        )
 }
 
 /// Map-iteration determinism additionally covers the serialization crate.
@@ -104,9 +115,10 @@ fn det_map_scope(path: &str) -> bool {
     det_time_scope(path) || path.starts_with("crates/obs/src/")
 }
 
-/// Serve-path modules of `crates/core`: everything `quote`/`buy`/
-/// `*_into` executes, plus their pricing/mechanism/error-transform
-/// dependencies.
+/// Serve-path modules: everything `quote`/`buy`/`*_into` executes, plus
+/// their pricing/mechanism/error-transform dependencies — and the network
+/// daemon's wire decode/dispatch path, which faces untrusted bytes and
+/// must return typed protocol errors instead of panicking.
 fn panic_scope(path: &str) -> bool {
     matches!(
         path,
@@ -115,6 +127,8 @@ fn panic_scope(path: &str) -> bool {
             | "crates/core/src/error.rs"
             | "crates/core/src/market/agents.rs"
             | "crates/core/src/market/concurrent.rs"
+            | "crates/serve/src/wire.rs"
+            | "crates/serve/src/conn.rs"
     )
 }
 
@@ -892,6 +906,45 @@ unsafe impl Sync for P {}
             "{:?}",
             findings(src)
         );
+    }
+
+    // ---- serve daemon scope boundaries ------------------------------------
+    // The wire decode/dispatch path faces untrusted bytes and must be
+    // panic-free and clock-free; the accept/IO loop may read Instant for
+    // idle timeouts and stays outside both scopes (no waiver spent).
+
+    #[test]
+    fn serve_request_path_is_in_det_and_panic_scope() {
+        for path in ["crates/serve/src/wire.rs", "crates/serve/src/conn.rs"] {
+            assert!(det_time_scope(path), "{path} must be det-scoped");
+            assert!(det_map_scope(path), "{path} must be det-map-scoped");
+            assert!(panic_scope(path), "{path} must be panic-scoped");
+        }
+        assert!(!det_time_scope("crates/serve/src/server.rs"));
+        assert!(!panic_scope("crates/serve/src/server.rs"));
+        assert!(!panic_scope("crates/serve/src/client.rs"));
+        assert!(is_test_path("crates/serve/tests/loopback.rs"));
+    }
+
+    #[test]
+    fn serve_conn_fixture_flags_unwrap_and_clock_in_repo_mode() {
+        let src =
+            "fn f(v: &[u8]) -> u8 { let _t = std::time::Instant::now(); v.first().copied().unwrap() }";
+        let conn = analyze("crates/serve/src/conn.rs", src, ScopeMode::Repo);
+        assert!(
+            conn.findings.iter().any(|f| f.rule == "panic"),
+            "{:?}",
+            conn.findings
+        );
+        assert!(
+            conn.findings.iter().any(|f| f.rule == "det"),
+            "{:?}",
+            conn.findings
+        );
+        // The same source in the IO loop is legal: timeouts change when
+        // work happens, never what it computes.
+        let server = analyze("crates/serve/src/server.rs", src, ScopeMode::Repo);
+        assert!(server.findings.is_empty(), "{:?}", server.findings);
     }
 
     // ---- tracing-layer idioms (mbp-obs v2) --------------------------------

@@ -70,6 +70,25 @@ impl ThreadPool {
         drop(q);
         self.state.available.notify_one();
     }
+
+    /// Enqueues a free-standing `'static` job on this pool's workers.
+    ///
+    /// This is the escape hatch for subsystems that need *dedicated*
+    /// long-lived loops (the `mbp-serve` accept/IO threads) rather than
+    /// fork-join regions: build a private `ThreadPool` and feed it loops
+    /// with `run`. Do **not** call this on the shared compute pool with a
+    /// job that blocks indefinitely — a parked job pins a worker, and
+    /// fork-join regions on other threads would wait forever for helper
+    /// jobs queued behind it. Workers spawned by any pool are marked as
+    /// pool threads, so nested parallel regions inside `f` degrade to
+    /// sequential instead of deadlocking.
+    ///
+    /// A panic inside `f` is caught by the worker loop and does not take
+    /// the pool down. Jobs still queued when the pool is dropped run to
+    /// completion before the workers exit.
+    pub fn run(&self, f: impl FnOnce() + Send + 'static) {
+        self.submit(Box::new(f));
+    }
 }
 
 impl Drop for ThreadPool {

@@ -1,0 +1,121 @@
+//! A small blocking client for the wire protocol.
+//!
+//! Used by the loopback tests, the `loadgen` bench driver, and the CLI
+//! probe. Requests can be pipelined: [`Client::enqueue`] buffers frames
+//! locally, [`Client::flush`] writes them in one syscall, and
+//! [`Client::recv`] reads responses back in request order. The client
+//! keeps a rolling FNV-1a digest of every raw response frame it receives
+//! ([`Client::digest`]), which is the bit-exactness witness the
+//! determinism checks compare across runs.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{
+    decode_header, decode_response, digest_bytes, encode_request, Request, Response, DIGEST_SEED,
+    HEADER_LEN,
+};
+
+/// Blocking protocol client.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u32,
+    out: Vec<u8>,
+    in_buf: Vec<u8>,
+    digest: u64,
+}
+
+impl Client {
+    /// Connects (TCP, nodelay) without sending anything.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_id: 0,
+            out: Vec::new(),
+            in_buf: Vec::new(),
+            digest: DIGEST_SEED,
+        })
+    }
+
+    /// Rolling FNV-1a digest over every raw response frame received.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Buffers one request frame locally and returns its request id
+    /// (ids are assigned sequentially from 1).
+    pub fn enqueue(&mut self, request: &Request) -> u32 {
+        self.next_id = self.next_id.wrapping_add(1);
+        encode_request(&mut self.out, self.next_id, request);
+        self.next_id
+    }
+
+    /// Writes all buffered frames.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.stream.write_all(&self.out)?;
+        self.out.clear();
+        Ok(())
+    }
+
+    /// Blocks until one complete response frame arrives and decodes it.
+    /// Unsolicited frames (backpressure, id 0) are returned like any
+    /// other; callers that pipeline within the server's queue limit will
+    /// only ever see their own ids, in order.
+    pub fn recv(&mut self) -> io::Result<(u32, Response)> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((header, total)) = self.peek_frame()? {
+                let frame: Vec<u8> = self.in_buf.drain(..total).collect();
+                self.digest = digest_bytes(self.digest, &frame);
+                let payload = frame.get(HEADER_LEN..).unwrap_or(&[]);
+                let response = decode_response(&header, payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.message()))?;
+                return Ok((header.request_id, response));
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ));
+            }
+            self.in_buf.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+        }
+    }
+
+    fn peek_frame(&self) -> io::Result<Option<(crate::wire::Header, usize)>> {
+        match decode_header(&self.in_buf) {
+            Ok(Some(h)) => {
+                let total = HEADER_LEN + h.payload_len as usize;
+                if self.in_buf.len() >= total {
+                    Ok(Some((h, total)))
+                } else {
+                    Ok(None)
+                }
+            }
+            Ok(None) => Ok(None),
+            Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.message())),
+        }
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, request: &Request) -> io::Result<(u32, Response)> {
+        self.enqueue(request);
+        self.flush()?;
+        self.recv()
+    }
+
+    /// Handshake: seeds the connection's noise RNG on the server.
+    pub fn hello(&mut self, seed: u64) -> io::Result<Response> {
+        let (_, resp) = self.call(&Request::Hello { seed })?;
+        Ok(resp)
+    }
+
+    /// Asks the server to drain and shut down; returns the ack.
+    pub fn shutdown_server(&mut self) -> io::Result<Response> {
+        let (_, resp) = self.call(&Request::Shutdown)?;
+        Ok(resp)
+    }
+}

@@ -1,0 +1,399 @@
+//! The daemon: accept loop, thread-per-core IO workers, graceful drain,
+//! and the Prometheus scrape side port.
+//!
+//! Threading model: the server builds a *dedicated* [`mbp_par::ThreadPool`]
+//! (sized from [`mbp_par::max_threads`], so `MBP_THREADS` / `--threads`
+//! govern it) and feeds each worker one long-lived IO loop via
+//! [`mbp_par::ThreadPool::run`]. The shared compute pool is deliberately
+//! *not* used: a parked IO loop would pin its workers and starve fork-join
+//! regions elsewhere in the process. Pool workers are marked, so any
+//! parallel region reached from a dispatch (e.g. a publish retraining)
+//! degrades to sequential instead of oversubscribing.
+//!
+//! Connections are assigned to IO workers round-robin at accept time and
+//! never migrate, which keeps every connection's cycle single-threaded —
+//! the property the per-connection RNG determinism rests on.
+//!
+//! Shutdown: SIGTERM (when [`ServerConfig::handle_sigterm`] is set), a
+//! client shutdown control frame, or [`ServerHandle::shutdown`] all flip
+//! one drain flag. The accept loop closes, every connection stops
+//! reading, serves what it already buffered, flushes, closes — then the
+//! IO loops exit and [`ServerHandle::wait`] returns the run's stats.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mbp_core::market::concurrent::SharedBroker;
+
+use crate::conn::{Conn, ConnConfig, CycleResult};
+
+/// Tuning for one [`start`]ed daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Bind address for the `GET /metrics` side port; `None` disables it.
+    pub metrics_addr: Option<String>,
+    /// IO worker threads; `0` means [`mbp_par::max_threads`].
+    pub io_threads: usize,
+    /// `false` disables batch admission (the loadgen baseline mode).
+    pub batch_admission: bool,
+    /// Max decoded-but-undispatched requests per connection before an
+    /// unsolicited backpressure frame is sent and decoding pauses.
+    pub queue_limit: usize,
+    /// Close a connection after this long without any progress.
+    pub idle_timeout: Duration,
+    /// Install a SIGTERM handler that triggers the graceful drain.
+    pub handle_sigterm: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            metrics_addr: None,
+            io_threads: 0,
+            batch_admission: true,
+            queue_limit: 1024,
+            idle_timeout: Duration::from_secs(30),
+            handle_sigterm: false,
+        }
+    }
+}
+
+/// Counters accumulated over one server run.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the run.
+    pub connections: u64,
+    /// Requests decoded off the wire.
+    pub requests: u64,
+}
+
+struct Control {
+    draining: AtomicBool,
+    accepted: AtomicU64,
+    live_conns: AtomicU64,
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::wait`])
+/// drains and joins everything.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    control: Arc<Control>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    metrics_thread: Option<std::thread::JoinHandle<()>>,
+    pool: Option<mbp_par::ThreadPool>,
+}
+
+impl ServerHandle {
+    /// The bound serving address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound metrics address, when the side port is enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Flips the drain flag: stop accepting, serve buffered requests,
+    /// flush, close. Returns immediately; pair with [`ServerHandle::wait`].
+    pub fn shutdown(&self) {
+        self.control.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the drain completes and every thread has exited,
+    /// returning the run's stats.
+    pub fn wait(mut self) -> ServerStats {
+        self.join_all();
+        ServerStats {
+            connections: self.control.accepted.load(Ordering::Relaxed),
+            // Counters are recorded only while `mbp_obs` is enabled; the
+            // CLI and loadgen both enable it before starting the server.
+            requests: mbp_obs::snapshot()
+                .counters
+                .iter()
+                .find(|(name, _)| name == "mbp.serve.requests")
+                .map_or(0, |(_, value)| *value),
+        }
+    }
+
+    /// `true` once the drain flag is set (by SIGTERM, a control frame, or
+    /// [`ServerHandle::shutdown`]).
+    pub fn is_draining(&self) -> bool {
+        self.control.draining.load(Ordering::Relaxed)
+    }
+
+    fn join_all(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Dropping the pool joins the IO loops (they exit once draining
+        // completes and their connection lists empty).
+        self.pool.take();
+        if let Some(t) = self.metrics_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.control.draining.store(true, Ordering::Relaxed);
+        self.join_all();
+    }
+}
+
+/// SIGTERM flag shared by every server in the process (signal handlers
+/// are process-global anyway).
+static SIGTERM_SEEN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    use std::os::raw::{c_int, c_void};
+    const SIGTERM: c_int = 15;
+    extern "C" fn on_sigterm(_sig: c_int) {
+        SIGTERM_SEEN.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        // libc::signal, which std already links; declared here to keep the
+        // crate dependency-free.
+        fn signal(signum: c_int, handler: *const c_void) -> *const c_void;
+    }
+    // SAFETY: `on_sigterm` is async-signal-safe (one relaxed atomic store,
+    // no allocation, no locks), and `signal` only swaps the process's
+    // SIGTERM disposition to it.
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const c_void);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+/// Starts the daemon over `broker` and returns its handle.
+pub fn start(broker: SharedBroker, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    if cfg.handle_sigterm {
+        install_sigterm_handler();
+    }
+
+    let control = Arc::new(Control {
+        draining: AtomicBool::new(false),
+        accepted: AtomicU64::new(0),
+        live_conns: AtomicU64::new(0),
+    });
+    let conn_cfg = ConnConfig {
+        queue_limit: cfg.queue_limit.max(1),
+        read_buf_limit: 256 * 1024,
+        per_request: !cfg.batch_admission,
+    };
+    let io_threads = if cfg.io_threads == 0 {
+        mbp_par::max_threads()
+    } else {
+        cfg.io_threads
+    }
+    .max(1);
+
+    // One inbox of freshly accepted sockets per IO worker.
+    let inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> = (0..io_threads)
+        .map(|_| Arc::new(Mutex::new(Vec::new())))
+        .collect();
+
+    let pool = mbp_par::ThreadPool::new(io_threads);
+    for inbox in &inboxes {
+        let inbox = Arc::clone(inbox);
+        let broker = broker.clone();
+        let control = Arc::clone(&control);
+        let conn_cfg = conn_cfg.clone();
+        let idle_timeout = cfg.idle_timeout;
+        pool.run(move || io_loop(&inbox, &broker, &control, &conn_cfg, idle_timeout));
+    }
+
+    let accept_control = Arc::clone(&control);
+    let handle_sigterm = cfg.handle_sigterm;
+    let accept_thread = std::thread::Builder::new()
+        .name("mbp-serve-accept".to_string())
+        .spawn(move || accept_loop(listener, &inboxes, &accept_control, handle_sigterm))?;
+
+    let (metrics_addr, metrics_thread) = match &cfg.metrics_addr {
+        Some(maddr) => {
+            let mlistener = TcpListener::bind(maddr)?;
+            mlistener.set_nonblocking(true)?;
+            let bound = mlistener.local_addr()?;
+            let mcontrol = Arc::clone(&control);
+            let t = std::thread::Builder::new()
+                .name("mbp-serve-metrics".to_string())
+                .spawn(move || metrics_loop(mlistener, &mcontrol))?;
+            (Some(bound), Some(t))
+        }
+        None => (None, None),
+    };
+
+    Ok(ServerHandle {
+        addr,
+        metrics_addr,
+        control,
+        accept_thread: Some(accept_thread),
+        metrics_thread,
+        pool: Some(pool),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inboxes: &[Arc<Mutex<Vec<TcpStream>>>],
+    control: &Control,
+    handle_sigterm: bool,
+) {
+    let mut next = 0usize;
+    loop {
+        if handle_sigterm && SIGTERM_SEEN.load(Ordering::Relaxed) {
+            control.draining.store(true, Ordering::Relaxed);
+        }
+        if control.draining.load(Ordering::Relaxed) {
+            return; // closing the listener refuses new connections
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                control.accepted.fetch_add(1, Ordering::Relaxed);
+                control.live_conns.fetch_add(1, Ordering::Relaxed);
+                mbp_obs::inc("mbp.serve.accepted");
+                mbp_obs::gauge_add("mbp.serve.connections", 1.0);
+                if let Some(inbox) = inboxes.get(next % inboxes.len()) {
+                    if let Ok(mut q) = inbox.lock() {
+                        q.push(stream);
+                    }
+                }
+                next = next.wrapping_add(1);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+struct Tracked {
+    conn: Conn,
+    last_progress: Instant,
+}
+
+fn io_loop(
+    inbox: &Mutex<Vec<TcpStream>>,
+    broker: &SharedBroker,
+    control: &Control,
+    cfg: &ConnConfig,
+    idle_timeout: Duration,
+) {
+    let mut conns: Vec<Tracked> = Vec::new();
+    loop {
+        // Adopt newly accepted sockets.
+        if let Ok(mut q) = inbox.lock() {
+            for stream in q.drain(..) {
+                conns.push(Tracked {
+                    conn: Conn::new(stream),
+                    last_progress: Instant::now(),
+                });
+            }
+        }
+        let draining = control.draining.load(Ordering::Relaxed);
+        if draining && conns.is_empty() {
+            return;
+        }
+        let mut any_progress = false;
+        let now = Instant::now();
+        conns.retain_mut(|t| {
+            let result = t.conn.cycle(broker, cfg, &control.draining);
+            match result {
+                CycleResult::Progress => {
+                    t.last_progress = now;
+                    any_progress = true;
+                    true
+                }
+                CycleResult::Idle => {
+                    if now.duration_since(t.last_progress) > idle_timeout {
+                        mbp_obs::inc("mbp.serve.idle_closed");
+                        close_conn(control);
+                        false
+                    } else {
+                        true
+                    }
+                }
+                CycleResult::Closed => {
+                    close_conn(control);
+                    false
+                }
+            }
+        });
+        if !any_progress {
+            if !draining && conns.is_empty() {
+                std::thread::sleep(Duration::from_millis(1));
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+fn close_conn(control: &Control) {
+    control.live_conns.fetch_sub(1, Ordering::Relaxed);
+    mbp_obs::gauge_add("mbp.serve.connections", -1.0);
+}
+
+/// Minimal HTTP responder for `GET /metrics`: one request per connection,
+/// Prometheus text exposition of the live `mbp-obs` snapshot.
+fn metrics_loop(listener: TcpListener, control: &Control) {
+    loop {
+        if control.draining.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let _ = stream.set_nonblocking(false);
+                let mut buf = [0u8; 2048];
+                let mut head = Vec::new();
+                while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8192 {
+                    match stream.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => head.extend_from_slice(buf.get(..n).unwrap_or(&[])),
+                        Err(_) => break,
+                    }
+                }
+                let request_line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+                let body = if request_line.starts_with(b"GET /metrics") {
+                    mbp_obs::to_prometheus(&mbp_obs::snapshot())
+                } else {
+                    String::new()
+                };
+                let response = if body.is_empty() {
+                    "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n".to_string()
+                } else {
+                    format!(
+                        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{}",
+                        body.len(),
+                        body
+                    )
+                };
+                let _ = stream.write_all(response.as_bytes());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Wire-protocol correctness: encode/decode round trips under random
+//! well-formed frames, and clean typed errors (never a panic) on
+//! truncated, garbage, and oversized byte streams.
+
+use mbp_core::market::PurchaseRequest;
+use mbp_serve::wire::{
+    self, decode_header, decode_request, decode_response, digest_bytes, encode_error,
+    encode_request, encode_response, frame_type, ErrorCode, Request, Response, DIGEST_SEED,
+    HEADER_LEN, MAX_PAYLOAD, MAX_PUBLISH_POINTS,
+};
+use proptest::prelude::*;
+
+fn request_from(selector: u32, mode: u32, kind: u32, value: f64, seed: u64, n: usize) -> Request {
+    let kind = wire::kind_from_u8((kind % 3) as u8).expect("kind in range");
+    let request = match mode % 3 {
+        0 => PurchaseRequest::AtNcp(value),
+        1 => PurchaseRequest::ErrorBudget(value),
+        _ => PurchaseRequest::PriceBudget(value),
+    };
+    match selector % 6 {
+        0 => Request::Hello { seed },
+        1 => Request::Quote { kind, request },
+        2 => Request::Buy { kind, request },
+        3 => Request::Publish {
+            kind,
+            points: (0..n)
+                .map(|i| (1.0 + i as f64 + value, 10.0 * (1.0 + i as f64)))
+                .collect(),
+        },
+        4 => Request::Ping,
+        _ => Request::Shutdown,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every well-formed request round-trips bit-for-bit through
+    /// encode → header validation → payload decode.
+    #[test]
+    fn request_roundtrip(
+        (selector, mode, kind) in (0u32..6, 0u32..3, 0u32..3),
+        value in 0.01..50.0f64,
+        seed in 0u64..u64::MAX,
+        n in 0usize..24,
+        id in 0u32..u32::MAX,
+    ) {
+        let request = request_from(selector, mode, kind, value, seed, n);
+        let mut bytes = Vec::new();
+        encode_request(&mut bytes, id, &request);
+        let header = decode_header(&bytes)
+            .expect("well-formed header")
+            .expect("complete header");
+        prop_assert_eq!(header.request_id, id);
+        prop_assert_eq!(HEADER_LEN + header.payload_len as usize, bytes.len());
+        let decoded = decode_request(&header, &bytes[HEADER_LEN..]).expect("payload decodes");
+        prop_assert_eq!(decoded, request);
+    }
+
+    /// Every response round-trips, including error frames with messages.
+    #[test]
+    fn response_roundtrip(
+        selector in 0u32..8,
+        value in 0.01..50.0f64,
+        n in 0usize..12,
+        id in 0u32..u32::MAX,
+        code in 0u32..8,
+    ) {
+        let code = ErrorCode::from_u8(1 + (code % 8) as u8).expect("code in range");
+        let response = match selector {
+            0 => Response::HelloOk,
+            1 => Response::QuoteOk { ncp: value, price: value * 2.0, expected_error: value / 2.0 },
+            2 => Response::BuyOk {
+                ncp: value,
+                price: value * 2.0,
+                expected_error: value / 2.0,
+                weights: (0..n).map(|i| value + i as f64).collect(),
+            },
+            3 => Response::PublishOk,
+            4 => Response::Pong,
+            5 => Response::Error { code, msg: format!("failure at {value}") },
+            6 => Response::Backpressure,
+            _ => Response::ShutdownAck,
+        };
+        let mut bytes = Vec::new();
+        encode_response(&mut bytes, id, &response);
+        let header = decode_header(&bytes)
+            .expect("well-formed header")
+            .expect("complete header");
+        prop_assert_eq!(header.request_id, id);
+        let decoded = decode_response(&header, &bytes[HEADER_LEN..]).expect("payload decodes");
+        prop_assert_eq!(decoded, response);
+    }
+
+    /// Truncating an encoded frame anywhere never panics: the header
+    /// either asks for more bytes or the payload decode reports a clean
+    /// `BadPayload` — and re-decoding with garbage appended reports a
+    /// trailing-bytes error rather than silently ignoring it.
+    #[test]
+    fn truncation_and_trailing_garbage_are_clean_errors(
+        (selector, mode, kind) in (0u32..6, 0u32..3, 0u32..3),
+        value in 0.01..50.0f64,
+        seed in 0u64..u64::MAX,
+        n in 1usize..24,
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let request = request_from(selector, mode, kind, value, seed, n);
+        let mut bytes = Vec::new();
+        encode_request(&mut bytes, 7, &request);
+
+        // Truncation: every prefix is either "need more bytes" or decodes.
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        match decode_header(&bytes[..cut]) {
+            Ok(None) => prop_assert!(cut < HEADER_LEN),
+            Ok(Some(h)) => {
+                let total = HEADER_LEN + h.payload_len as usize;
+                if cut < total {
+                    // Payload incomplete: a server would keep buffering.
+                    prop_assert!(cut < bytes.len());
+                } else {
+                    decode_request(&h, &bytes[HEADER_LEN..cut]).expect("complete frame decodes");
+                }
+            }
+            Err(e) => prop_assert!(!e.is_fatal(), "truncated well-formed frame misread as corrupt: {e:?}"),
+        }
+
+        // Trailing garbage inside the declared payload is rejected.
+        if let Request::Ping | Request::Shutdown = request {
+            // Zero-payload frames: grow the declared length instead.
+            let mut grown = bytes.clone();
+            grown[8] = 1; // payload_len = 1
+            grown.push(0xAA);
+            let h = decode_header(&grown).expect("header ok").expect("complete");
+            let err = decode_request(&h, &grown[HEADER_LEN..]).unwrap_err();
+            prop_assert!(!err.is_fatal());
+        } else {
+            bytes.push(0xAA);
+            let mut h = decode_header(&bytes).expect("header ok").expect("complete");
+            h.payload_len += 1;
+            let err = decode_request(&h, &bytes[HEADER_LEN..]).unwrap_err();
+            prop_assert!(!err.is_fatal());
+        }
+    }
+}
+
+#[test]
+fn short_buffers_ask_for_more_bytes() {
+    for n in 0..HEADER_LEN {
+        let buf = vec![b'M'; n];
+        assert_eq!(decode_header(&buf), Ok(None), "len {n}");
+    }
+}
+
+#[test]
+fn bad_magic_and_version_are_fatal() {
+    let mut bytes = Vec::new();
+    encode_request(&mut bytes, 1, &Request::Ping);
+    let mut bad = bytes.clone();
+    bad[0] = b'X';
+    let err = decode_header(&bad).unwrap_err();
+    assert!(err.is_fatal(), "{err:?}");
+
+    let mut bad = bytes.clone();
+    bad[2] = 99;
+    let err = decode_header(&bad).unwrap_err();
+    assert!(err.is_fatal(), "{err:?}");
+    assert!(err.message().contains("version 99"));
+}
+
+#[test]
+fn oversized_payload_length_is_fatal() {
+    let mut bytes = Vec::new();
+    encode_request(&mut bytes, 1, &Request::Ping);
+    bytes[8..12].copy_from_slice(&((MAX_PAYLOAD as u32) + 1).to_le_bytes());
+    let err = decode_header(&bytes).unwrap_err();
+    assert!(err.is_fatal(), "{err:?}");
+}
+
+#[test]
+fn unknown_frame_type_is_recoverable() {
+    let mut bytes = Vec::new();
+    encode_request(&mut bytes, 1, &Request::Ping);
+    bytes[3] = 0x7F;
+    let header = decode_header(&bytes).unwrap().unwrap();
+    let err = decode_request(&header, &bytes[HEADER_LEN..]).unwrap_err();
+    assert!(!err.is_fatal(), "{err:?}");
+}
+
+#[test]
+fn unknown_model_kind_and_mode_are_recoverable() {
+    let mut bytes = Vec::new();
+    encode_request(
+        &mut bytes,
+        1,
+        &Request::Buy {
+            kind: mbp_ml::ModelKind::LinearRegression,
+            request: PurchaseRequest::AtNcp(1.0),
+        },
+    );
+    let mut bad_kind = bytes.clone();
+    bad_kind[HEADER_LEN] = 9;
+    let header = decode_header(&bad_kind).unwrap().unwrap();
+    let err = decode_request(&header, &bad_kind[HEADER_LEN..]).unwrap_err();
+    assert!(!err.is_fatal(), "{err:?}");
+
+    let mut bad_mode = bytes.clone();
+    bad_mode[HEADER_LEN + 1] = 9;
+    let header = decode_header(&bad_mode).unwrap().unwrap();
+    let err = decode_request(&header, &bad_mode[HEADER_LEN..]).unwrap_err();
+    assert!(!err.is_fatal(), "{err:?}");
+}
+
+#[test]
+fn publish_point_count_is_capped() {
+    let mut bytes = Vec::new();
+    // Hand-build a publish header claiming too many points.
+    bytes.extend_from_slice(&[b'M', b'B', 1, frame_type::PUBLISH]);
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&5u32.to_le_bytes()); // payload: kind + count
+    bytes.push(0);
+    bytes.extend_from_slice(&((MAX_PUBLISH_POINTS as u32) + 1).to_le_bytes());
+    let header = decode_header(&bytes).unwrap().unwrap();
+    let err = decode_request(&header, &bytes[HEADER_LEN..]).unwrap_err();
+    assert!(!err.is_fatal(), "{err:?}");
+    assert!(err.message().contains("MAX_PUBLISH_POINTS"));
+}
+
+#[test]
+fn error_messages_truncate_on_char_boundaries() {
+    let long = "é".repeat(40_000); // 2 bytes per char, > u16::MAX bytes
+    let mut bytes = Vec::new();
+    encode_error(&mut bytes, 3, ErrorCode::BadRequest, &long);
+    let header = decode_header(&bytes).unwrap().unwrap();
+    let decoded = decode_response(&header, &bytes[HEADER_LEN..]).unwrap();
+    match decoded {
+        Response::Error { code, msg } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(msg.len() <= u16::MAX as usize);
+            assert!(msg.chars().all(|c| c == 'é'));
+        }
+        other => panic!("expected error frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn digest_is_a_pure_function_of_the_byte_stream() {
+    let mut a = DIGEST_SEED;
+    a = digest_bytes(a, b"hello");
+    a = digest_bytes(a, b" world");
+    let b = digest_bytes(DIGEST_SEED, b"hello world");
+    assert_eq!(a, b);
+    assert_ne!(digest_bytes(DIGEST_SEED, b"hello worle"), b);
+}

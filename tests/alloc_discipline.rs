@@ -10,8 +10,10 @@
 //! A counting `#[global_allocator]` (wrapping `System`) verifies this
 //! directly. The counter is toggled around the measured window so test
 //! harness bookkeeping doesn't pollute the count. CI runs this test in the
-//! `MBP_THREADS=1` job; it is also self-contained in its own test binary,
-//! so no sibling test can allocate concurrently during the window.
+//! `MBP_THREADS=1` job. The armed flag and counter are **thread-local**:
+//! libtest runs `#[test]` fns (and its own result-printing bookkeeping,
+//! which allocates) on concurrent threads, so a process-global flag would
+//! intermittently count a sibling thread's allocations inside a window.
 
 use mbp_core::error::SquareLossTransform;
 use mbp_core::market::{Broker, PurchaseRequest, Sale};
@@ -19,22 +21,28 @@ use mbp_core::pricing::PricingFunction;
 use mbp_ml::ModelKind;
 use mbp_randx::seeded_rng;
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::cell::Cell;
 
 /// Counts every `alloc`/`realloc` while armed; delegates to [`System`].
 struct CountingAlloc;
 
-static ARMED: AtomicBool = AtomicBool::new(false);
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    /// Per-thread armed flag: only the measuring thread counts.
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread allocation count for the current armed window.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
 
 // SAFETY: every method delegates directly to [`System`], which upholds the
 // `GlobalAlloc` contract; the counter bookkeeping never touches the layout
 // or the returned pointers.
 unsafe impl GlobalAlloc for CountingAlloc {
-    // SAFETY: forwards `layout` unchanged to `System.alloc`.
+    // SAFETY: forwards `layout` unchanged to `System.alloc`. The
+    // thread-locals are const-initialized `Cell`s, so accessing them here
+    // never allocates (no recursion); `try_with` tolerates TLS teardown.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if ARMED.try_with(|a| a.get()).unwrap_or(false) {
+            let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         }
         System.alloc(layout)
     }
@@ -48,8 +56,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: forwards all arguments unchanged to `System.realloc`; the
     // caller guarantees `ptr`/`layout` describe a live allocation.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if ARMED.try_with(|a| a.get()).unwrap_or(false) {
+            let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         }
         System.realloc(ptr, layout, new_size)
     }
@@ -61,11 +69,11 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 /// Runs `f` with the allocation counter armed and returns how many
 /// heap allocations it performed.
 fn count_allocations(f: impl FnOnce()) -> usize {
-    ALLOCATIONS.store(0, Ordering::SeqCst);
-    ARMED.store(true, Ordering::SeqCst);
+    ALLOCATIONS.with(|c| c.set(0));
+    ARMED.with(|a| a.set(true));
     f();
-    ARMED.store(false, Ordering::SeqCst);
-    ALLOCATIONS.load(Ordering::SeqCst)
+    ARMED.with(|a| a.set(false));
+    ALLOCATIONS.with(|c| c.get())
 }
 
 #[test]
