@@ -376,6 +376,53 @@ fn main() {
         }
     });
 
+    // Durability baseline: WAL append throughput, the fsync-interval
+    // price curve, and recovery speed (with the recovery-vs-ingest
+    // speedup the ratchet hard-floors at 1.0). Writes BENCH_wal.json
+    // (overridable with MBP_WAL_OUT; record count with MBP_WAL_RECORDS).
+    run_phase(&mut phases, "wal-baseline", || {
+        let records = std::env::var("MBP_WAL_RECORDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1_000)
+            .unwrap_or(200_000);
+        let baseline = mbp_bench::walbench::run(records);
+        print_table(
+            &format!(
+                "WAL durability baseline ({} records/workload, deterministic: {})",
+                records, baseline.recovery.deterministic
+            ),
+            &["workload", "fsync_interval", "records/sec", "fsyncs"],
+            &baseline
+                .workloads
+                .iter()
+                .map(|w| {
+                    vec![
+                        w.name.clone(),
+                        w.fsync_interval.to_string(),
+                        fmt(w.records_per_sec),
+                        w.syncs.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+        print_table(
+            "WAL recovery",
+            &["records", "seconds", "records/sec", "replay speedup"],
+            &[vec![
+                baseline.recovery.records.to_string(),
+                fmt_secs(baseline.recovery.seconds),
+                fmt(baseline.recovery.records_per_sec),
+                fmt(baseline.recovery_replay_speedup),
+            ]],
+        );
+        let out = std::env::var("MBP_WAL_OUT").unwrap_or_else(|_| "BENCH_wal.json".to_string());
+        match std::fs::write(&out, baseline.to_json()) {
+            Ok(()) => println!("wal baseline written to {out}"),
+            Err(e) => eprintln!("could not write wal baseline {out}: {e}"),
+        }
+    });
+
     // Verification baseline: arbitrage attack, differential oracle, and
     // schedule-exploration throughput from mbp-testkit. Writes
     // BENCH_testkit.json (overridable with MBP_TESTKIT_OUT; trial count

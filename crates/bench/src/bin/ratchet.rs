@@ -7,14 +7,14 @@
 //! `.`), `MBP_RATCHET_TOL` / `MBP_RATCHET_RATIO_TOL` (widen the
 //! absolute-latency and ratio bands for slow or shared runners),
 //! `MBP_SERVE_QUOTES` / `MBP_NET_REQUESTS` / `MBP_KERNEL_LOOKUPS` /
-//! `MBP_ATTACK_TRIALS` /
+//! `MBP_WAL_RECORDS` / `MBP_ATTACK_TRIALS` /
 //! `MBP_TRACE_QUOTES` (fresh-run sizes), and `MBP_TRACE_BUDGET_DISABLED` /
 //! `MBP_TRACE_BUDGET_ENABLED` (fresh-run overhead budgets; the committed
 //! artifact is always held to the strict 2% / 10% contract).
 
 use mbp_bench::ratchet::{
     check_trace_overhead, compare_kernel, compare_serve_net, compare_serving, compare_testkit,
-    RatchetConfig, RatchetReport,
+    compare_wal, RatchetConfig, RatchetReport,
 };
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -122,6 +122,19 @@ fn main() {
         }
         Err(e) => {
             println!("[kernel] ERROR: {e}");
+            failed = true;
+        }
+    }
+
+    match read_baseline(&dir, "BENCH_wal.json") {
+        Ok(committed) => {
+            let records = env_usize("MBP_WAL_RECORDS", 20_000);
+            println!("measuring durability baseline ({records} records/workload)...");
+            let fresh = mbp_bench::walbench::run(records).to_json();
+            check("wal", compare_wal(&committed, &fresh, &cfg), &mut failed);
+        }
+        Err(e) => {
+            println!("[wal] ERROR: {e}");
             failed = true;
         }
     }

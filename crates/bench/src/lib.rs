@@ -27,6 +27,7 @@ pub mod ratchet;
 pub mod report;
 pub mod servebench;
 pub mod tracebench;
+pub mod walbench;
 
 /// Provenance stamped into every `BENCH_*.json` artifact: the machine's
 /// hardware thread count plus a commit-ish and run timestamp *passed in by

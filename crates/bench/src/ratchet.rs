@@ -705,6 +705,71 @@ pub fn compare_kernel(
     Ok(report)
 }
 
+/// Diffs a fresh `BENCH_wal.json` against the committed durability
+/// baseline. Append and recovery throughput ratchet like every other
+/// phase; `recovery_replay_speedup` (live ingest seconds ÷ recovery
+/// seconds) is a same-process ratio, so besides the band against the
+/// committed baseline it carries an absolute hard floor of 1.0 —
+/// recovery replaying a log slower than the market wrote it would mean
+/// crash recovery can never catch up, and such a baseline cannot be
+/// committed.
+pub fn compare_wal(
+    baseline_json: &str,
+    fresh_json: &str,
+    cfg: &RatchetConfig,
+) -> Result<RatchetReport, String> {
+    let base = parse_json(baseline_json)?;
+    let fresh = parse_json(fresh_json)?;
+    let mut report = RatchetReport::default();
+
+    report.invariant(
+        "deterministic",
+        bool_field(&fresh, "deterministic").unwrap_or(false),
+    );
+    report.ratio_floor(
+        "recovery_replay_speedup",
+        num_field(&base, "recovery_replay_speedup")?,
+        num_field(&fresh, "recovery_replay_speedup")?,
+        cfg.ratio_tolerance,
+    );
+    report.hard_floor(
+        "recovery_replay_speedup.hard_floor",
+        1.0,
+        num_field(&base, "recovery_replay_speedup")?,
+    );
+
+    let base_rec = base
+        .get("recovery")
+        .ok_or_else(|| "baseline missing 'recovery'".to_string())?;
+    let fresh_rec = fresh
+        .get("recovery")
+        .ok_or_else(|| "fresh run missing 'recovery'".to_string())?;
+    report.ratio_floor(
+        "recovery.records_per_sec",
+        num_field(base_rec, "records_per_sec")?,
+        num_field(fresh_rec, "records_per_sec")?,
+        cfg.p99_tolerance,
+    );
+
+    let base_workloads = by_name(&base, "workloads")?;
+    let fresh_workloads = by_name(&fresh, "workloads")?;
+    for (name, base_w) in &base_workloads {
+        let Some(fresh_w) = fresh_workloads.get(name) else {
+            report
+                .failures
+                .push(format!("workload '{name}' missing from fresh run"));
+            continue;
+        };
+        report.ratio_floor(
+            &format!("workloads.{name}.records_per_sec"),
+            num_field(base_w, "records_per_sec")?,
+            num_field(fresh_w, "records_per_sec")?,
+            cfg.p99_tolerance,
+        );
+    }
+    Ok(report)
+}
+
 /// Diffs a fresh `BENCH_trace.json` against the tracing overhead budgets:
 /// the serve path must cost ≤ `disabled_budget` with tracing compiled in
 /// but off, and ≤ `enabled_budget` with tracing on.
@@ -742,6 +807,7 @@ mod tests {
     const TESTKIT: &str = include_str!("../../../BENCH_testkit.json");
     const KERNEL: &str = include_str!("../../../BENCH_kernel.json");
     const SERVE_NET: &str = include_str!("../../../BENCH_serve_net.json");
+    const WAL: &str = include_str!("../../../BENCH_wal.json");
 
     #[test]
     fn parser_round_trips_committed_baselines() {
@@ -794,6 +860,38 @@ mod tests {
         assert!(report.pass(), "{}", report.render());
         let report = compare_serve_net(SERVE_NET, SERVE_NET, &cfg).expect("comparable");
         assert!(report.pass(), "{}", report.render());
+        let report = compare_wal(WAL, WAL, &cfg).expect("comparable");
+        assert!(report.pass(), "{}", report.render());
+    }
+
+    /// Acceptance: the committed durability baseline must show recovery
+    /// replaying at least as fast as live ingest (speedup ≥ 1.0), and a
+    /// baseline doctored below that floor fails its own self-compare.
+    #[test]
+    fn wal_hard_floor_binds_the_committed_artifact() {
+        let cfg = RatchetConfig::default();
+        let base = parse_json(WAL).expect("parses");
+        let speedup = base
+            .get("recovery_replay_speedup")
+            .and_then(Json::as_f64)
+            .expect("ratio present");
+        assert!(
+            speedup >= 1.0,
+            "committed recovery_replay_speedup {speedup} under the 1.0 floor"
+        );
+        let needle = format!("\"recovery_replay_speedup\": {speedup:.4}");
+        let doctored = WAL.replacen(&needle, "\"recovery_replay_speedup\": 0.5000", 1);
+        assert_ne!(doctored, WAL, "injection must change the document");
+        let report = compare_wal(&doctored, &doctored, &cfg).expect("comparable");
+        assert!(!report.pass(), "sub-1.0 replay speedup must fail");
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("recovery_replay_speedup.hard_floor")),
+            "{}",
+            report.render()
+        );
     }
 
     /// Acceptance: the committed network baseline must show batch

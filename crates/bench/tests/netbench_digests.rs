@@ -1,0 +1,105 @@
+//! Named regression pin for the network-serving determinism digests
+//! (satellite 3): `BENCH_serve_net.json` is a committed artifact, and the
+//! response digests inside it are behavior, not performance — they fold
+//! every response byte the daemon produced for the canonical request
+//! streams. If a code change makes the wire responses drift, this test
+//! fails `cargo test -q` directly instead of waiting for a bench ratchet
+//! run.
+
+use mbp_bench::netbench::{self, SWEEP_CONNS};
+use mbp_bench::ratchet::{parse_json, Json};
+use std::path::{Path, PathBuf};
+
+fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve_net.json")
+}
+
+/// Extracts every `"digest": <n>` value from the raw JSON text. The
+/// digests are full u64 values (above 2^53), so they must never round
+/// through the parser's f64 numbers.
+fn committed_digests(text: &str) -> Vec<u64> {
+    text.match_indices("\"digest\": ")
+        .map(|(i, pat)| {
+            let digits: String = text[i + pat.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse().expect("digest is a u64")
+        })
+        .collect()
+}
+
+/// The committed baseline itself must claim full determinism: every sweep
+/// point carries a digest, reproduced on its second run, and the
+/// per-request path reproduced the batched digest.
+#[test]
+fn committed_netbench_baseline_claims_determinism() {
+    let text = std::fs::read_to_string(baseline_path()).expect("committed BENCH_serve_net.json");
+    let json = parse_json(&text).expect("baseline parses");
+    assert_eq!(
+        json.get("deterministic").and_then(Json::as_bool),
+        Some(true),
+        "committed baseline must be deterministic"
+    );
+    assert_eq!(
+        json.get("per_request_matches_batched")
+            .and_then(Json::as_bool),
+        Some(true),
+        "batch admission must not change responses"
+    );
+    let sweep = json
+        .get("sweep")
+        .and_then(Json::as_arr)
+        .expect("sweep array");
+    assert_eq!(sweep.len(), SWEEP_CONNS.len());
+    for (point, conns) in sweep.iter().zip(SWEEP_CONNS) {
+        assert_eq!(
+            point.get("connections").and_then(Json::as_f64),
+            Some(conns as f64)
+        );
+        assert_eq!(
+            point.get("deterministic").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+    let digests = committed_digests(&text);
+    assert_eq!(
+        digests.len(),
+        SWEEP_CONNS.len(),
+        "one digest per sweep point"
+    );
+    assert!(
+        digests.iter().all(|&d| d != 0),
+        "digests must be non-trivial"
+    );
+}
+
+/// Digest drift gate: a live sweep at the committed request count must
+/// reproduce the committed response digests bit-for-bit. Throughput may
+/// move with the machine; the bytes on the wire may not.
+#[test]
+fn live_netbench_digests_match_the_committed_baseline() {
+    let text = std::fs::read_to_string(baseline_path()).expect("committed BENCH_serve_net.json");
+    let json = parse_json(&text).expect("baseline parses");
+    let per_conn = json
+        .get("requests_per_conn")
+        .and_then(Json::as_f64)
+        .expect("requests_per_conn") as usize;
+    let committed = committed_digests(&text);
+
+    let live = netbench::run(per_conn);
+    assert!(
+        live.deterministic,
+        "live sweep must reproduce its own digests"
+    );
+    assert!(
+        live.per_request_matches_batched,
+        "live per-request path must match the batched digest"
+    );
+    let live_digests: Vec<u64> = live.sweep.iter().map(|p| p.digest).collect();
+    assert_eq!(
+        live_digests, committed,
+        "response digests drifted from the committed BENCH_serve_net.json — \
+         if the wire behavior change is intentional, regenerate the baseline"
+    );
+}

@@ -2,6 +2,7 @@
 
 use crate::error::ErrorTransform;
 use crate::market::curves::{buyer_points, DemandCurve, ValueCurve};
+use crate::market::durability::DurabilitySink;
 use crate::mechanism::{GaussianMechanism, NoiseMechanism};
 use crate::pricing::{BatchScratch, PhiMemo, PricingFunction, PricingTable};
 use crate::revenue::{solve_bv_dp, BuyerPoint, RevenueSolution};
@@ -11,6 +12,7 @@ use mbp_ml::{LinearModel, LogisticLoss, ModelKind, SmoothedHingeLoss};
 use mbp_randx::MbpRng;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Static trace label for a model kind (the `listing` dimension of the
 /// `(listing, mechanism, phase)` latency attribution; no per-quote
@@ -212,7 +214,7 @@ impl SaleArena {
 }
 
 /// Ledger entry kept by the broker for revenue accounting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transaction {
     /// Model type sold.
     pub kind: ModelKind,
@@ -361,6 +363,10 @@ pub struct Broker {
     /// Lazily-built ridge solver: the train-split Gram matrix is formed
     /// once, and Cholesky factors are cached per ridge value.
     ridge_solver: Option<RidgeSolver>,
+    /// Optional write-ahead observer; see [`crate::market::durability`].
+    /// Sale hooks fire at origination sites only, never in
+    /// [`Broker::settle`] (the stripe-drain path would double-record).
+    durability: Option<Arc<dyn DurabilitySink>>,
 }
 
 impl fmt::Debug for Broker {
@@ -388,7 +394,23 @@ impl Broker {
             listings: HashMap::new(),
             ledger: Vec::new(),
             ridge_solver: None,
+            durability: None,
         }
+    }
+
+    /// Attaches a durability sink: every later support, publish, and
+    /// completed sale is forwarded to `sink` at its origination site.
+    ///
+    /// Attach *after* replaying a recovered log into this broker, so the
+    /// recovery replay itself is not appended back to the log it came
+    /// from.
+    pub fn set_durability(&mut self, sink: Arc<dyn DurabilitySink>) {
+        self.durability = Some(sink);
+    }
+
+    /// Detaches the durability sink, returning it if one was attached.
+    pub fn take_durability(&mut self) -> Option<Arc<dyn DurabilitySink>> {
+        self.durability.take()
     }
 
     /// Publishes a standing offer for `kind`: later purchases can go
@@ -413,6 +435,9 @@ impl Broker {
         }
         let table = pricing.compile();
         let phi = PhiMemo::new(transform.as_ref(), &table);
+        if let Some(sink) = &self.durability {
+            sink.record_publish(kind, pricing.grid(), pricing.prices());
+        }
         self.listings.insert(
             kind,
             Listing {
@@ -467,6 +492,9 @@ impl Broker {
                 &trace,
             )?;
             let ledger = trace.phase(mbp_obs::Phase::Ledger);
+            if let Some(sink) = &self.durability {
+                sink.record_sale(&tx);
+            }
             self.ledger.push(tx);
             drop(ledger);
             Ok(sale)
@@ -515,6 +543,9 @@ impl Broker {
                 &trace,
             )?;
             let ledger = trace.phase(mbp_obs::Phase::Ledger);
+            if let Some(sink) = &self.durability {
+                sink.record_sale(&tx);
+            }
             self.ledger.push(tx);
             drop(ledger);
             Ok(())
@@ -648,6 +679,9 @@ impl Broker {
             .into_iter()
             .map(|r| {
                 r.map(|(sale, tx)| {
+                    if let Some(sink) = &self.durability {
+                        sink.record_sale(&tx);
+                    }
                     self.ledger.push(tx);
                     sale
                 })
@@ -750,7 +784,11 @@ impl Broker {
             sale.ncp = ncp;
             sale.expected_error = listing.transform.expected_error(ncp);
             let ledger = trace.phase(mbp_obs::Phase::Ledger);
-            self.ledger.push(Transaction { kind, ncp, price });
+            let tx = Transaction { kind, ncp, price };
+            if let Some(sink) = &self.durability {
+                sink.record_sale(&tx);
+            }
+            self.ledger.push(tx);
             drop(ledger);
             served += 1;
             revenue += price;
@@ -1002,6 +1040,12 @@ impl Broker {
                     ridge,
                 },
             );
+            // Only actual (re)training is durable: replaying the same
+            // support sequence re-derives identical weights, and repeat
+            // same-ridge calls add nothing to recovery.
+            if let Some(sink) = &self.durability {
+                sink.record_support(kind, ridge);
+            }
         } else if kind == ModelKind::LinearRegression {
             // Same (kind, ridge) already on the menu: a pure cache hit.
             mbp_obs::inc("mbp.core.broker.factor_cache_hit");
@@ -1075,6 +1119,9 @@ impl Broker {
         rng: &mut MbpRng,
     ) -> Result<Sale, MarketError> {
         let (sale, tx) = self.quote(kind, request, pricing, transform, rng)?;
+        if let Some(sink) = &self.durability {
+            sink.record_sale(&tx);
+        }
         self.ledger.push(tx);
         Ok(sale)
     }

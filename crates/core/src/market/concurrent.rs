@@ -22,6 +22,7 @@ use crate::error::ErrorTransform;
 use crate::market::agents::{
     kind_label, Broker, MarketError, PriceQuote, PurchaseRequest, Sale, SaleArena, Transaction,
 };
+use crate::market::durability::DurabilitySink;
 use crate::pricing::PricingFunction;
 use mbp_ml::ModelKind;
 use mbp_randx::MbpRng;
@@ -46,6 +47,12 @@ struct SharedState {
     next_stripe: AtomicUsize,
     /// Handle-local mirror of `mbp.core.sharedbroker.contention`.
     contention: AtomicU64,
+    /// Optional write-ahead observer for the striped buy paths. Sale
+    /// records are emitted *while the stripe lock is held*, so the durable
+    /// order within a stripe matches the stripe's settlement order and the
+    /// lock hierarchy stays `stripe → sink` (the sink never takes broker
+    /// locks; see [`DurabilitySink`]).
+    durability: Option<Arc<dyn DurabilitySink>>,
 }
 
 /// A cloneable, thread-safe handle to a broker.
@@ -64,6 +71,27 @@ impl SharedBroker {
                 stripes: std::array::from_fn(|_| Mutex::new(Vec::new())),
                 next_stripe: AtomicUsize::new(0),
                 contention: AtomicU64::new(0),
+                durability: None,
+            }),
+        }
+    }
+
+    /// Wraps a broker with a durability sink attached: the striped buy
+    /// paths forward every settled transaction to `sink` under the stripe
+    /// lock, and maintenance mutations (support/publish through the core
+    /// write lock) are forwarded by the inner [`Broker`] itself.
+    ///
+    /// Call this *after* recovery has replayed an existing log into
+    /// `broker`, so the replay is not re-recorded.
+    pub fn with_durability(mut broker: Broker, sink: Arc<dyn DurabilitySink>) -> Self {
+        broker.set_durability(Arc::clone(&sink));
+        SharedBroker {
+            inner: Arc::new(SharedState {
+                core: RwLock::new(broker),
+                stripes: std::array::from_fn(|_| Mutex::new(Vec::new())),
+                next_stripe: AtomicUsize::new(0),
+                contention: AtomicU64::new(0),
+                durability: Some(sink),
             }),
         }
     }
@@ -140,6 +168,9 @@ impl SharedBroker {
             .into_iter()
             .map(|r| {
                 r.map(|(sale, tx)| {
+                    if let Some(sink) = &self.inner.durability {
+                        sink.record_sale(&tx);
+                    }
                     guard.push(tx);
                     sale
                 })
@@ -176,11 +207,15 @@ impl SharedBroker {
         let _settle = mbp_obs::phase_for(mbp_obs::Phase::Ledger, kind_label(kind), "-");
         let mut guard = self.lock_next_stripe(kind_label(kind));
         for sale in arena.results().flatten() {
-            guard.push(Transaction {
+            let tx = Transaction {
                 kind,
                 ncp: sale.ncp,
                 price: sale.price,
-            });
+            };
+            if let Some(sink) = &self.inner.durability {
+                sink.record_sale(&tx);
+            }
+            guard.push(tx);
         }
         Ok(())
     }
@@ -232,7 +267,11 @@ impl SharedBroker {
         };
         {
             let _settle = mbp_obs::phase_for(mbp_obs::Phase::Ledger, kind_label(kind), "-");
-            self.lock_next_stripe(kind_label(kind)).push(tx);
+            let mut guard = self.lock_next_stripe(kind_label(kind));
+            if let Some(sink) = &self.inner.durability {
+                sink.record_sale(&tx);
+            }
+            guard.push(tx);
         }
         Ok(sale)
     }

@@ -1,0 +1,67 @@
+//! The durability seam between the in-memory market and a write-ahead log.
+//!
+//! The broker itself stays storage-agnostic: `mbp-core` defines only the
+//! [`DurabilitySink`] observer trait, and the `mbp-wal` crate implements it
+//! on top of an append-only segment log. The seam is deliberately narrow —
+//! the sink sees exactly the events a recovery needs to rebuild broker
+//! state bit-identically:
+//!
+//! * **supports** — `(kind, ridge)` pairs; training is deterministic, so
+//!   replaying a support re-derives the same optimal weights to the bit;
+//! * **publishes** — the pricing knots `(grid, prices)`; re-compiling the
+//!   listing from the same points rebuilds the same table;
+//! * **sales** — the ledger [`Transaction`]s, whose multiset is the
+//!   revenue record;
+//! * **epoch rollovers** and the **RNG cursor** — session markers that let
+//!   a restarted process continue its seed stream instead of reusing it.
+//!
+//! Hook placement is the part that keeps the accounting exact: sinks fire
+//! where a transaction *originates* (the `buy*` family, under the caller's
+//! stripe lock in the shared broker), never in [`Broker::settle`] — settle
+//! is the reconciliation path that moves already-recorded transactions
+//! from stripes into the core ledger, and recording there would double
+//! count every striped sale. Recovery replays through `settle` for exactly
+//! that reason.
+//!
+//! [`Broker::settle`]: crate::market::Broker::settle
+
+use crate::market::agents::Transaction;
+use mbp_ml::ModelKind;
+
+/// Observer for market events that must survive a crash.
+///
+/// Implementations must be cheap and non-blocking in the common case
+/// (buffered appends): sale hooks run while the caller holds a ledger
+/// stripe lock. A sink must never call back into the broker — the lock
+/// hierarchy is `core write` / `stripe` → `sink`, acquired strictly in
+/// that order and never reversed.
+pub trait DurabilitySink: Send + Sync {
+    /// One completed sale. Fired once per transaction at its origination
+    /// site, before or immediately after the ledger/stripe push.
+    fn record_sale(&self, tx: &Transaction);
+
+    /// A batch of completed sales, in settlement order. Default loops over
+    /// [`DurabilitySink::record_sale`]; implementations may override to
+    /// amortize their own locking.
+    fn record_sales(&self, txs: &[Transaction]) {
+        for tx in txs {
+            self.record_sale(tx);
+        }
+    }
+
+    /// A model kind was (re)trained onto the menu at `ridge`.
+    fn record_support(&self, kind: ModelKind, ridge: f64);
+
+    /// A listing was published: the pricing knots `(grid[i], prices[i])`.
+    /// The durable form keeps the points, not the compiled table — the
+    /// table is a pure function of the points.
+    fn record_publish(&self, kind: ModelKind, grid: &[f64], prices: &[f64]);
+
+    /// An epoch rollover (adaptive-pricing sessions).
+    fn record_epoch(&self, epoch: u64);
+
+    /// The RNG session cursor: `seed` is the session's base seed, `draws`
+    /// an implementation-defined position marker (e.g. the number of
+    /// seeds handed out by a `SeedStream`).
+    fn record_rng_cursor(&self, seed: u64, draws: u64);
+}

@@ -18,8 +18,11 @@
 mod agents;
 pub mod concurrent;
 pub mod curves;
+pub mod durability;
 pub mod epochs;
 pub mod simulation;
+
+pub use durability::DurabilitySink;
 
 pub use agents::{
     Broker, Buyer, MarketError, PriceErrorCurve, PriceErrorPoint, PriceQuote, PurchaseRequest,

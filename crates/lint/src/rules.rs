@@ -116,9 +116,11 @@ fn det_map_scope(path: &str) -> bool {
 }
 
 /// Serve-path modules: everything `quote`/`buy`/`*_into` executes, plus
-/// their pricing/mechanism/error-transform dependencies — and the network
+/// their pricing/mechanism/error-transform dependencies — the network
 /// daemon's wire decode/dispatch path, which faces untrusted bytes and
-/// must return typed protocol errors instead of panicking.
+/// must return typed protocol errors instead of panicking — and the WAL
+/// record codec and segment writer, whose recovery path scans arbitrarily
+/// torn or corrupted on-disk bytes and must skip or truncate, never panic.
 fn panic_scope(path: &str) -> bool {
     matches!(
         path,
@@ -129,6 +131,8 @@ fn panic_scope(path: &str) -> bool {
             | "crates/core/src/market/concurrent.rs"
             | "crates/serve/src/wire.rs"
             | "crates/serve/src/conn.rs"
+            | "crates/wal/src/record.rs"
+            | "crates/wal/src/log.rs"
     )
 }
 
@@ -924,6 +928,20 @@ unsafe impl Sync for P {}
         assert!(!panic_scope("crates/serve/src/server.rs"));
         assert!(!panic_scope("crates/serve/src/client.rs"));
         assert!(is_test_path("crates/serve/tests/loopback.rs"));
+    }
+
+    /// The WAL codec and segment writer parse torn / corrupted on-disk
+    /// bytes and are panic-scoped; file I/O timing is legal there (no
+    /// determinism scope), and the durability handle stays outside —
+    /// its sink hooks only count errors.
+    #[test]
+    fn wal_recovery_path_is_panic_scoped_but_not_det_scoped() {
+        for path in ["crates/wal/src/record.rs", "crates/wal/src/log.rs"] {
+            assert!(panic_scope(path), "{path} must be panic-scoped");
+            assert!(!det_time_scope(path), "{path} must not be det-scoped");
+        }
+        assert!(!panic_scope("crates/wal/src/durability.rs"));
+        assert!(is_test_path("crates/wal/tests/wal_recovery.rs"));
     }
 
     #[test]

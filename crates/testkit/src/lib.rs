@@ -24,6 +24,12 @@
 //!   `quote_batch`/`buy_batch`/re-publish operations and checks
 //!   linearizability of the striped ledger against a single-threaded
 //!   reference broker, plus seeded fault-point injection;
+//! * [`crash`] — a **crash-point fault injector** for durable logs:
+//!   seeded kill-at-record/kill-at-byte schedules, content bit flips, and
+//!   framing flips over an encoded log image, with recovery required to
+//!   converge bit-identically from every surviving prefix (the `mbp-wal`
+//!   crate plugs its recovery in through closures, so this crate stays
+//!   storage-agnostic);
 //! * [`corpus`] — persisted regression corpora (`testkit/corpus/`): every
 //!   counterexample the engine ever found replays first on later runs.
 //!
@@ -34,13 +40,21 @@
 
 pub mod attack;
 pub mod corpus;
+pub mod crash;
 pub mod oracle;
 pub mod schedule;
 
 pub use attack::{attack_curve, attack_error_space, AttackConfig, AttackReport, Violation};
 pub use corpus::{Case, Corpus};
+pub use crash::{
+    explore_crashes, CrashCase, CrashConfig, CrashFailure, CrashHarness, CrashOracle, CrashOutcome,
+    CrashReport, CrashSchedule, LogGeometry,
+};
 pub use oracle::{check_error_space, check_pricing, OracleConfig, OracleReport, ReferenceCurve};
-pub use schedule::{explore, run_case, ScheduleConfig, ScheduleFailure, ScheduleReport};
+pub use schedule::{
+    explore, explore_crash, run_case, run_crash_case, ScheduleConfig, ScheduleFailure,
+    ScheduleReport,
+};
 
 /// Re-export of the core crate *as this crate links it*. `mbp-core`'s own
 /// unit tests consume `mbp-testkit` through a dev-dependency cycle, where

@@ -28,6 +28,7 @@
 //! Any failure reproduces from the printed case seed alone via
 //! [`run_case`].
 
+use crate::crash::{append_corpus, load_corpus, CrashHarness, CrashSchedule};
 use mbp_core::error::SquareLossTransform;
 use mbp_core::market::concurrent::SharedBroker;
 use mbp_core::market::{Broker, MarketError, PurchaseRequest, Sale};
@@ -38,6 +39,10 @@ use mbp_randx::{seeded_rng, MbpRng, SeedStream};
 use rand::Rng;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
 
 /// Configuration of an exploration run.
 #[derive(Debug, Clone, Copy)]
@@ -575,6 +580,166 @@ fn enumerate_orders(
     }
 }
 
+/// `true` when `sub` is a sub-multiset of `sup` (both are consumed as
+/// scratch space).
+fn is_sub_multiset(sub: &mut [(u64, u64)], sup: &mut [(u64, u64)]) -> bool {
+    sub.sort_unstable();
+    sup.sort_unstable();
+    let mut i = 0;
+    for s in sup.iter() {
+        if i < sub.len() && sub[i] == *s {
+            i += 1;
+        }
+    }
+    i == sub.len()
+}
+
+/// Runs one concurrent **crash-fault** case: `threads` real buyer threads
+/// hammer a [`SharedBroker`] wired to the harness's durability sink while
+/// a killer thread crashes the log writer mid-group-commit at a seeded
+/// point in the op stream. Durability may lose the buffered, un-synced
+/// tail — but it must never invent, duplicate, or corrupt a sale, so the
+/// recovered `(ncp, price)` bit-pattern multiset must be a sub-multiset
+/// of the in-memory ledger.
+///
+/// Unlike [`run_case`], real threads race here, so the kill lands at a
+/// nondeterministic instant; the checked property holds for *every*
+/// landing point, and the seed still pins the op stream, the data, and
+/// the scheduled kill trigger.
+pub fn run_crash_case(
+    case_seed: u64,
+    threads: usize,
+    ops_per_thread: usize,
+    harness: &CrashHarness,
+) -> Result<usize, ScheduleFailure> {
+    let threads = threads.clamp(2, 4);
+    let mut seeds = SeedStream::new(case_seed);
+    let data_seed = seeds.next_seed();
+    let total_ops = threads * ops_per_thread.max(1);
+    let kill_after = 1 + (seeds.next_seed() as usize % total_ops);
+    let rng_seeds: Vec<u64> = (0..threads).map(|_| seeds.next_seed()).collect();
+    let case = (harness)(case_seed);
+    let sb = SharedBroker::with_durability(build_broker(data_seed), Arc::clone(&case.sink));
+    let progress = Arc::new(AtomicU64::new(0));
+
+    let killer = {
+        let progress = Arc::clone(&progress);
+        let kill = Arc::clone(&case.kill);
+        thread::spawn(move || {
+            while progress.load(Ordering::Acquire) < kill_after as u64 {
+                thread::yield_now();
+            }
+            kill();
+        })
+    };
+    let buyers: Vec<_> = rng_seeds
+        .iter()
+        .map(|&rng_seed| {
+            let sb = sb.clone();
+            let progress = Arc::clone(&progress);
+            let ops = ops_per_thread.max(1);
+            thread::spawn(move || {
+                let mut rng = seeded_rng(rng_seed);
+                for _ in 0..ops {
+                    let ncp = rng.gen_range(0.5..1.8);
+                    let _ = sb.buy_batch(
+                        ModelKind::LinearRegression,
+                        &[PurchaseRequest::AtNcp(ncp)],
+                        &mut rng,
+                    );
+                    progress.fetch_add(1, Ordering::Release);
+                }
+            })
+        })
+        .collect();
+    for b in buyers {
+        let _ = b.join();
+    }
+    let _ = killer.join(); // kill_after <= total_ops, so it always fires
+
+    let mut recovered = (case.recovered_sales)();
+    let mut in_mem: Vec<(u64, u64)> = sb.with_broker(|b| {
+        b.ledger()
+            .iter()
+            .map(|t| (t.ncp.to_bits(), t.price.to_bits()))
+            .collect()
+    });
+    let (rec_n, mem_n) = (recovered.len(), in_mem.len());
+    if !is_sub_multiset(&mut recovered, &mut in_mem) {
+        return Err(ScheduleFailure {
+            case_seed,
+            threads,
+            ops_per_thread,
+            step: rec_n,
+            detail: format!(
+                "recovered ledger is NOT a sub-multiset of the in-memory ledger \
+                 ({rec_n} recovered vs {mem_n} in memory) \
+                 [replay: mbp_testkit::schedule::run_crash_case({case_seed}, \
+                 {threads}, {ops_per_thread}, harness)]"
+            ),
+        });
+    }
+    Ok(total_ops)
+}
+
+/// Samples `cfg.interleavings` concurrent crash cases through `harness`
+/// (see [`run_crash_case`]). When `corpus` is given, persisted
+/// `sched <seed>` schedules replay first and newly failing seeds are
+/// appended — the same regression discipline as
+/// [`crate::crash::explore_crashes`].
+pub fn explore_crash(
+    cfg: &ScheduleConfig,
+    harness: &CrashHarness,
+    corpus: Option<&Path>,
+) -> ScheduleReport {
+    let _span = mbp_obs::span("mbp.testkit.schedule.crash");
+    let mut report = ScheduleReport {
+        explored: 0,
+        steps: 0,
+        failures: Vec::new(),
+    };
+    let max_threads = cfg.threads.clamp(2, 4);
+    if let Some(path) = corpus {
+        for schedule in load_corpus(path).unwrap_or_default() {
+            let CrashSchedule::Concurrent(seed) = schedule else {
+                continue; // byte-level schedules need a geometry, not a harness
+            };
+            report.explored += 1;
+            match run_crash_case(seed, max_threads, cfg.ops_per_thread, harness) {
+                Ok(steps) => report.steps += steps as u64,
+                Err(f) => report.failures.push(f),
+            }
+        }
+    }
+    let mut seeds = SeedStream::new(cfg.seed);
+    for i in 0..cfg.interleavings {
+        let case_seed = seeds.next_seed();
+        let threads = 2 + (i as usize % (max_threads - 1).max(1));
+        report.explored += 1;
+        match run_crash_case(case_seed, threads, cfg.ops_per_thread, harness) {
+            Ok(steps) => report.steps += steps as u64,
+            Err(f) => {
+                report.failures.push(f);
+                if report.failures.len() >= 5 {
+                    break;
+                }
+            }
+        }
+    }
+    if let Some(path) = corpus {
+        if !report.failures.is_empty() {
+            let new: Vec<CrashSchedule> = report
+                .failures
+                .iter()
+                .map(|f| CrashSchedule::Concurrent(f.case_seed))
+                .collect();
+            let _ = append_corpus(path, &new);
+        }
+    }
+    mbp_obs::counter_add("mbp.testkit.schedule.crash.cases", report.explored);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -637,6 +802,123 @@ mod tests {
             (Err(x), Err(y)) => assert_eq!(x.detail, y.detail),
             (x, y) => panic!("replay diverged: {x:?} vs {y:?}"),
         }
+    }
+
+    /// An in-memory stand-in for a WAL sink with group-commit semantics:
+    /// sales buffer locally and only "reach disk" every `group` records;
+    /// `kill` drops the buffered tail and goes dead. This is the
+    /// loss-model contract `run_crash_case` checks — the real WAL plugs
+    /// in through the same harness from its own test suite.
+    #[derive(Default)]
+    struct FakeWalState {
+        committed: Vec<(u64, u64)>,
+        buffer: Vec<(u64, u64)>,
+        dead: bool,
+    }
+
+    struct FakeWalSink {
+        group: usize,
+        state: std::sync::Mutex<FakeWalState>,
+    }
+
+    impl FakeWalSink {
+        fn kill(&self) {
+            let mut s = self.state.lock().unwrap();
+            s.buffer.clear();
+            s.dead = true;
+        }
+
+        fn committed(&self) -> Vec<(u64, u64)> {
+            self.state.lock().unwrap().committed.clone()
+        }
+    }
+
+    impl mbp_core::market::DurabilitySink for FakeWalSink {
+        fn record_sale(&self, tx: &mbp_core::market::Transaction) {
+            let mut s = self.state.lock().unwrap();
+            if s.dead {
+                return; // dead writer: appends fail silently, like a counted io error
+            }
+            s.buffer.push((tx.ncp.to_bits(), tx.price.to_bits()));
+            if s.buffer.len() >= self.group {
+                let buffered = std::mem::take(&mut s.buffer);
+                s.committed.extend(buffered);
+            }
+        }
+        fn record_support(&self, _: ModelKind, _: f64) {}
+        fn record_publish(&self, _: ModelKind, _: &[f64], _: &[f64]) {}
+        fn record_epoch(&self, _: u64) {}
+        fn record_rng_cursor(&self, _: u64, _: u64) {}
+    }
+
+    #[test]
+    fn concurrent_crash_cases_recover_a_sub_multiset() {
+        let harness: CrashHarness = Arc::new(|_case_seed: u64| {
+            let sink = Arc::new(FakeWalSink {
+                group: 4,
+                state: std::sync::Mutex::default(),
+            });
+            crate::crash::CrashCase {
+                sink: sink.clone(),
+                kill: {
+                    let sink = sink.clone();
+                    Arc::new(move || sink.kill())
+                },
+                recovered_sales: Arc::new(move || sink.committed()),
+            }
+        });
+        let report = explore_crash(
+            &ScheduleConfig {
+                seed: 17,
+                interleavings: 25,
+                threads: 4,
+                ops_per_thread: 6,
+                faults: true,
+            },
+            &harness,
+            None,
+        );
+        assert_eq!(report.explored, 25);
+        assert!(
+            report.failures.is_empty(),
+            "{}",
+            report.failures.first().expect("failure present")
+        );
+    }
+
+    #[test]
+    fn a_sink_that_invents_sales_fails_the_crash_explorer() {
+        // Sabotage: the "recovery" returns one sale that never happened.
+        let harness: CrashHarness = Arc::new(|_case_seed: u64| {
+            let sink = Arc::new(FakeWalSink {
+                group: 4,
+                state: std::sync::Mutex::default(),
+            });
+            crate::crash::CrashCase {
+                sink: sink.clone(),
+                kill: {
+                    let sink = sink.clone();
+                    Arc::new(move || sink.kill())
+                },
+                recovered_sales: Arc::new(move || {
+                    let mut sales = sink.committed();
+                    sales.push((0xbad0_bad0, 0xbad0_bad0)); // phantom sale
+                    sales
+                }),
+            }
+        });
+        let report = explore_crash(
+            &ScheduleConfig {
+                seed: 18,
+                interleavings: 3,
+                threads: 2,
+                ops_per_thread: 4,
+                faults: true,
+            },
+            &harness,
+            None,
+        );
+        assert!(!report.failures.is_empty());
     }
 
     /// Real-thread companion to the virtual-time `ReaderProbe`: a reader
