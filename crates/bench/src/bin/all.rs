@@ -504,6 +504,52 @@ fn main() {
         }
     });
 
+    // Static-analysis timing: the per-file rule pass and the full
+    // interprocedural pass (workspace call graph + reach-panic /
+    // taint-det / lock-graph) over this workspace, so an analyzer
+    // slowdown shows up in the same ratchet as every other phase. Both
+    // passes must come back clean against the checked-in baseline.
+    run_phase(&mut phases, "lintbench", || {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let baseline = root.join("lint.toml");
+        let rows: Vec<(&str, Result<mbp_lint::Report, std::io::Error>, f64)> =
+            [("per-file rules", false), ("interprocedural", true)]
+                .into_iter()
+                .map(|(name, interproc)| {
+                    let t0 = std::time::Instant::now();
+                    let report = if interproc {
+                        mbp_lint::run_interprocedural(&root, Some(&baseline), None)
+                    } else {
+                        mbp_lint::run(&root, Some(&baseline))
+                    };
+                    (name, report, t0.elapsed().as_secs_f64())
+                })
+                .collect();
+        print_table(
+            "Static analysis (mbp-lint over this workspace)",
+            &["pass", "files", "findings", "clean", "runtime"],
+            &rows
+                .iter()
+                .map(|(name, report, secs)| match report {
+                    Ok(r) => vec![
+                        name.to_string(),
+                        r.files_scanned.to_string(),
+                        r.findings.len().to_string(),
+                        r.is_clean().to_string(),
+                        fmt_secs(*secs),
+                    ],
+                    Err(e) => vec![
+                        name.to_string(),
+                        "-".to_string(),
+                        format!("error: {e}"),
+                        "false".to_string(),
+                        fmt_secs(*secs),
+                    ],
+                })
+                .collect::<Vec<_>>(),
+        );
+    });
+
     // Per-phase wall times and metric volume.
     print_table(
         "Observability: phase timings",

@@ -117,9 +117,13 @@ COMMANDS:
                                    skip with a count, never an error
   lint      [--root DIR]          static-analysis pass over the workspace
             [--baseline FILE]     (determinism, panic-freedom, float
-                                  discipline, lock order, unsafe audit);
-                                  exits non-zero on any finding beyond the
-                                  lint.toml waiver baseline
+            [--interprocedural]   discipline, lock order, unsafe audit,
+            [--graph-out BASE]    narrowing casts); --interprocedural adds
+                                  the whole-workspace call-graph analyses
+                                  (reach-panic, taint-det, lock-graph) and
+                                  --graph-out writes BASE.json/BASE.dot
+                                  witness artifacts; exits non-zero on any
+                                  finding beyond the lint.toml baseline
 
 GLOBAL FLAGS (every command):
   --threads N          thread-pool size for parallel hot paths (default:
@@ -493,10 +497,14 @@ fn cmd_replay(args: &Args) -> Result<String, CliError> {
 /// `mbp-market lint`: run the workspace static-analysis pass.
 ///
 /// Scans every `.rs` file under `--root` (default: the current directory)
-/// against the determinism / panic-freedom / float / lock-order / unsafe
-/// rules, honoring the `--baseline` waiver budget (default: `lint.toml`
-/// under the root when present). Findings are returned as an error so the
-/// process exits non-zero, which is what lets CI gate on this command.
+/// against the determinism / panic-freedom / float / lock-order / unsafe /
+/// cast rules, honoring the `--baseline` waiver budget (default:
+/// `lint.toml` under the root when present). With `--interprocedural` the
+/// whole-workspace call graph is built as well and the `reach-panic` /
+/// `taint-det` / `lock-graph` analyses run over it; `--graph-out BASE`
+/// additionally writes `BASE.json` and `BASE.dot` witness artifacts.
+/// Findings are returned as an error so the process exits non-zero, which
+/// is what lets CI gate on this command.
 fn cmd_lint(args: &Args) -> Result<String, CliError> {
     let root = Path::new(args.get("root").unwrap_or("."));
     let default_baseline = root.join("lint.toml");
@@ -504,8 +512,13 @@ fn cmd_lint(args: &Args) -> Result<String, CliError> {
         Some(p) => Some(Path::new(p).to_path_buf()),
         None => default_baseline.exists().then_some(default_baseline),
     };
-    let report = mbp_lint::run(root, baseline.as_deref())
-        .map_err(|e| CliError::Data(format!("scanning {}: {e}", root.display())))?;
+    let graph_out = args.get("graph-out").filter(|v| !v.is_empty());
+    let report = if args.get_bool("interprocedural") || graph_out.is_some() {
+        mbp_lint::run_interprocedural(root, baseline.as_deref(), graph_out.map(Path::new))
+    } else {
+        mbp_lint::run(root, baseline.as_deref())
+    }
+    .map_err(|e| CliError::Data(format!("scanning {}: {e}", root.display())))?;
     if report.is_clean() {
         Ok(report.render())
     } else {

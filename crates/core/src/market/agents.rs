@@ -91,6 +91,8 @@ impl Seller {
     /// Panics when `grid` is empty or not strictly ascending — a listing
     /// with no sampleable market grid is a programming error, caught at
     /// construction rather than deep inside curve sampling.
+    // LINT-SCOPE(reach-panic): sellers are built at simulation setup,
+    // never on the serve path; the call-graph pass proves it.
     pub fn new(
         data: TrainTest,
         grid: Vec<f64>,
@@ -98,8 +100,6 @@ impl Seller {
         demand_curve: DemandCurve,
     ) -> Self {
         if let Err(e) = super::curves::validate_grid(&grid) {
-            // Sellers are built at setup time, never on the serve path.
-            // LINT-ALLOW(panic): documented constructor contract.
             panic!("invalid seller grid: {e}");
         }
         Seller {
@@ -111,10 +111,10 @@ impl Seller {
     }
 
     /// The buyer population implied by the research curves.
+    // LINT-SCOPE(reach-panic): simulation-side population synthesis; the
+    // grid was validated in `Seller::new` and no serve root reaches it.
     pub fn buyer_population(&self) -> Vec<BuyerPoint> {
         buyer_points(&self.grid, &self.value_curve, &self.demand_curve)
-            // Curve sampling over a valid grid cannot fail.
-            // LINT-ALLOW(panic): grid validated in `Seller::new`.
             .expect("seller grid validated at construction")
     }
 }

@@ -203,7 +203,9 @@ impl DemandCurve {
 
 fn sample_unit(grid: &[f64], f: impl Fn(f64) -> f64) -> Result<Vec<f64>, CurveError> {
     validate_grid(grid)?;
-    let (lo, hi) = (grid[0], grid[grid.len() - 1]);
+    let (Some(&lo), Some(&hi)) = (grid.first(), grid.last()) else {
+        return Err(CurveError::EmptyGrid);
+    };
     let span = (hi - lo).max(f64::MIN_POSITIVE);
     Ok(grid.iter().map(|&x| f((x - lo) / span)).collect())
 }
@@ -213,7 +215,7 @@ pub(crate) fn validate_grid(grid: &[f64]) -> Result<(), CurveError> {
     if grid.is_empty() {
         return Err(CurveError::EmptyGrid);
     }
-    if !grid.windows(2).all(|w| w[0] < w[1]) {
+    if !grid.windows(2).all(|w| matches!(w, [a, b] if a < b)) {
         return Err(CurveError::NonAscendingGrid);
     }
     Ok(())

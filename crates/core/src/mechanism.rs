@@ -60,7 +60,11 @@ fn check_ncp(ncp: f64) {
 /// Copies `h*` into `out` without allocating when the dimensions match.
 fn copy_into(h_star: &Vector, out: &mut Vector) {
     if out.len() == h_star.len() {
-        out.as_mut_slice().copy_from_slice(h_star.as_slice());
+        // Element-wise instead of `copy_from_slice`: total on any length
+        // (zip truncates), so the serve path cannot abort on a mismatch.
+        for (o, h) in out.as_mut_slice().iter_mut().zip(h_star.as_slice()) {
+            *o = *h;
+        }
     } else {
         *out = h_star.clone();
     }

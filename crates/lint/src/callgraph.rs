@@ -1,0 +1,515 @@
+//! Workspace call graph: symbol table, pragmatic name resolution, and
+//! the DOT/JSON graph artifact.
+//!
+//! ## Resolution scheme (documented over-approximation)
+//!
+//! Rust name resolution needs types; a lexical analyzer does not have
+//! them. The scheme here trades precision for soundness *in the
+//! direction that matters for each analysis* — when a callee cannot be
+//! identified, the call resolves to **every** plausible workspace
+//! function (assume-reachable), never silently to none:
+//!
+//! 1. **Plain calls** `foo(..)` — same file, then same crate, then the
+//!    whole workspace by bare name.
+//! 2. **Path calls** `a::b::foo(..)` — `use`-aliases are expanded first;
+//!    a capitalized second-to-last segment is looked up as
+//!    `Type::assoc_fn` (with `Self::` mapped to the enclosing impl
+//!    type); otherwise candidates are filtered to functions whose
+//!    module path ends with the call's module segments.
+//! 3. **Method calls** `.foo(..)` — the receiver type is inferred from
+//!    `self`, typed params, `let x: T`, and `let x = T::ctor(..)`
+//!    bindings; a known receiver binds to that impl. An *unknown*
+//!    receiver resolves to std when the name is on the ubiquitous-std
+//!    list (`len`, `get`, `clone`, ... — see `symbols`), else to every
+//!    workspace method with that name (this is the trait-object /
+//!    fn-pointer over-approximation the tentpole requires).
+//!
+//! Unresolved calls are classified against the **std panic-capability
+//! table**: a curated list of std methods that can panic (`insert`,
+//! `split_at`, `copy_from_slice`, RefCell borrows, ...). Everything else
+//! in std is assumed total — the std surface this workspace touches is
+//! small and the table is easy to extend when a new panicky method
+//! enters the vocabulary.
+
+use crate::symbols::{CallKind, FileModel, FnItem};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Std methods that can panic, by bare name. A call that resolves to std
+/// (not to a workspace function) is a panic seed iff its name is listed
+/// here. `unwrap`/`expect` are *not* listed — they are direct syntactic
+/// panic sites already, and listing them would double-count.
+///
+/// Curation notes: `insert`/`remove`/`drain` are deliberately absent.
+/// In this workspace those names are overwhelmingly the *total* map
+/// operations (`HashMap`/`BTreeMap::insert`/`remove`) and range-clamped
+/// buffer drains (`buf.drain(..n.min(buf.len()))`); listing them drowns
+/// the report in false positives while the genuinely partial positional
+/// `Vec::insert`/`remove` does not appear on any serve path here. The
+/// remaining entries are partial on every receiver type that defines
+/// them.
+pub const PANICKY_STD: &[&str] = &[
+    "split_at",
+    "split_at_mut",
+    "copy_from_slice",
+    "clone_from_slice",
+    "copy_within",
+    "swap",
+    "swap_remove",
+    "split_off",
+    "borrow_mut", // RefCell::borrow_mut; the Borrow trait has no borrow_mut
+    "select_nth_unstable",
+];
+
+/// True when a std-resolved call with this bare name can panic.
+pub fn std_can_panic(name: &str) -> bool {
+    PANICKY_STD.contains(&name)
+}
+
+/// A resolved call-graph edge target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Workspace function by graph id.
+    Fn(usize),
+    /// Standard library (or external) call; the bool is "can panic" per
+    /// the capability table.
+    Std { can_panic: bool },
+}
+
+/// One edge: caller body position + resolved targets. Ambiguous calls
+/// carry several targets (assume-reachable).
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub call_idx: usize,
+    pub targets: Vec<usize>,
+    /// The call resolved (possibly additionally) to std with panic
+    /// capability.
+    pub std_panic: bool,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// Flattened function items; index = graph id.
+    pub fns: Vec<FnItem>,
+    /// Per-function resolved edges, parallel to `fns`.
+    pub edges: Vec<Vec<Edge>>,
+    /// Per-file `use`-alias tables, keyed by rel path.
+    pub uses: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+}
+
+impl CallGraph {
+    /// Build the graph from parsed file models. Test functions are kept
+    /// (fixtures may want them) but callers exclude them via roots.
+    pub fn build(models: Vec<FileModel>) -> CallGraph {
+        let mut fns: Vec<FnItem> = Vec::new();
+        let mut uses = BTreeMap::new();
+        for m in models {
+            uses.insert(m.rel_path.clone(), m.uses);
+            fns.extend(m.fns);
+        }
+
+        // Indexes.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_trait_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_file: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(id);
+            by_file.entry((&f.rel_path, &f.name)).or_default().push(id);
+            if let Some(t) = &f.self_type {
+                by_type_method.entry((t, &f.name)).or_default().push(id);
+            }
+            if let Some(t) = &f.trait_name {
+                by_trait_method.entry((t, &f.name)).or_default().push(id);
+            }
+        }
+
+        let mut edges: Vec<Vec<Edge>> = Vec::with_capacity(fns.len());
+        for f in &fns {
+            let file_uses = uses.get(&f.rel_path);
+            let mut fedges = Vec::with_capacity(f.calls.len());
+            for (call_idx, call) in f.calls.iter().enumerate() {
+                let (targets, std_panic) = resolve(
+                    call,
+                    f,
+                    file_uses,
+                    &by_name,
+                    &by_type_method,
+                    &by_trait_method,
+                    &by_file,
+                    &fns,
+                );
+                fedges.push(Edge {
+                    call_idx,
+                    targets,
+                    std_panic,
+                });
+            }
+            edges.push(fedges);
+        }
+        CallGraph { fns, edges, uses }
+    }
+
+    /// Graph ids of non-test functions matching a predicate.
+    pub fn ids_where(&self, pred: impl Fn(&FnItem) -> bool) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_test && pred(f))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Render a witness call chain `a -> b -> c` from graph ids.
+    pub fn chain(&self, ids: &[usize]) -> String {
+        ids.iter()
+            .map(|&id| self.fns[id].display())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    /// DOT rendering of the graph restricted to `keep` (plus all edges
+    /// among kept nodes). Node labels carry `file:line`.
+    pub fn to_dot(&self, keep: &BTreeSet<usize>, flagged: &BTreeSet<usize>) -> String {
+        let mut s = String::from(
+            "digraph mbp_callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n",
+        );
+        for &id in keep {
+            let f = &self.fns[id];
+            let color = if flagged.contains(&id) {
+                ", color=red, penwidth=2"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                s,
+                "  n{id} [label=\"{}\\n{}:{}\"{color}];",
+                f.display().replace('"', "'"),
+                f.rel_path,
+                f.line
+            );
+        }
+        for &id in keep {
+            let mut seen = BTreeSet::new();
+            for e in &self.edges[id] {
+                for &t in &e.targets {
+                    if keep.contains(&t) && seen.insert(t) {
+                        let _ = writeln!(s, "  n{id} -> n{t};");
+                    }
+                }
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// JSON rendering: nodes, edges, and named witness chains. Hand-built
+    /// (zero-dependency) — keys are fixed, strings escaped minimally.
+    pub fn to_json(
+        &self,
+        keep: &BTreeSet<usize>,
+        witnesses: &[(String, String, Vec<usize>)],
+    ) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut s = String::from("{\n  \"nodes\": [\n");
+        let mut first = true;
+        for &id in keep {
+            let f = &self.fns[id];
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "    {{\"id\": {id}, \"fn\": \"{}\", \"file\": \"{}\", \"line\": {}}}",
+                esc(&f.display()),
+                esc(&f.rel_path),
+                f.line
+            );
+        }
+        s.push_str("\n  ],\n  \"edges\": [\n");
+        first = true;
+        for &id in keep {
+            let mut seen = BTreeSet::new();
+            for e in &self.edges[id] {
+                for &t in &e.targets {
+                    if keep.contains(&t) && seen.insert(t) {
+                        if !first {
+                            s.push_str(",\n");
+                        }
+                        first = false;
+                        let _ = write!(s, "    {{\"from\": {id}, \"to\": {t}}}");
+                    }
+                }
+            }
+        }
+        s.push_str("\n  ],\n  \"witnesses\": [\n");
+        first = true;
+        for (rule, msg, chain) in witnesses {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "    {{\"rule\": \"{}\", \"msg\": \"{}\", \"chain\": \"{}\"}}",
+                esc(rule),
+                esc(msg),
+                esc(&self.chain(chain))
+            );
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// Resolve one call site to workspace targets and/or std.
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    call: &crate::symbols::CallSite,
+    caller: &FnItem,
+    file_uses: Option<&BTreeMap<String, Vec<String>>>,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
+    by_trait_method: &BTreeMap<(&str, &str), Vec<usize>>,
+    by_file: &BTreeMap<(&str, &str), Vec<usize>>,
+    fns: &[FnItem],
+) -> (Vec<usize>, bool) {
+    match &call.kind {
+        CallKind::Plain { name } => {
+            // Same file first — the overwhelmingly common case for free fns.
+            if let Some(ids) = by_file.get(&(caller.rel_path.as_str(), name.as_str())) {
+                return (ids.clone(), false);
+            }
+            if let Some(ids) = by_name.get(name.as_str()) {
+                let same_crate: Vec<usize> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| fns[id].crate_name == caller.crate_name)
+                    .collect();
+                if !same_crate.is_empty() {
+                    return (same_crate, false);
+                }
+                return (ids.clone(), false);
+            }
+            // Unknown bare name: a std/macro-expanded helper. Assume total.
+            (Vec::new(), false)
+        }
+        CallKind::Path { segs } => {
+            // Expand a `use` alias on the first segment.
+            let expanded: Vec<String> = match (segs.first(), file_uses) {
+                (Some(first), Some(uses)) if uses.contains_key(first) => {
+                    let mut v = uses[first].clone();
+                    v.extend(segs.iter().skip(1).cloned());
+                    v
+                }
+                _ => segs.clone(),
+            };
+            let name = expanded.last().cloned().unwrap_or_default();
+            let qualifier = expanded
+                .len()
+                .checked_sub(2)
+                .map(|i| expanded[i].as_str())
+                .unwrap_or("");
+
+            // `Self::f` → the enclosing impl type.
+            let qualifier = if qualifier == "Self" {
+                caller.self_type.as_deref().unwrap_or("Self")
+            } else {
+                qualifier
+            };
+
+            // Type-associated call: `Type::f`.
+            if qualifier.chars().next().is_some_and(char::is_uppercase) {
+                if let Some(ids) = by_type_method.get(&(qualifier, name.as_str())) {
+                    return (ids.clone(), false);
+                }
+                // A std or foreign type: classify by capability table.
+                return (Vec::new(), std_can_panic(&name));
+            }
+
+            // Module-qualified: filter candidates whose (crate, module)
+            // path ends with the call's qualifying segments.
+            if let Some(ids) = by_name.get(name.as_str()) {
+                let quals: Vec<&str> = expanded[..expanded.len() - 1]
+                    .iter()
+                    .map(String::as_str)
+                    .filter(|s| !matches!(*s, "crate" | "self" | "super"))
+                    .collect();
+                let matching: Vec<usize> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let f = &fns[id];
+                        let mut full: Vec<&str> = vec![f.crate_name.as_str()];
+                        full.extend(f.module.iter().map(String::as_str));
+                        quals
+                            .iter()
+                            .all(|q| full.contains(q) || f.crate_name == q.replace('-', "_"))
+                    })
+                    .collect();
+                if !matching.is_empty() {
+                    return (matching, false);
+                }
+                // Assume-reachable: every same-named workspace fn.
+                return (ids.clone(), false);
+            }
+            (Vec::new(), std_can_panic(&name))
+        }
+        CallKind::Method { name, recv } => {
+            // Known receiver type → that impl's method; a `dyn Trait`
+            // receiver resolves to every impl of the trait.
+            if let Some(ty) = recv {
+                if let Some(ids) = by_type_method.get(&(ty.as_str(), name.as_str())) {
+                    return (ids.clone(), false);
+                }
+                if let Some(ids) = by_trait_method.get(&(ty.as_str(), name.as_str())) {
+                    return (ids.clone(), false);
+                }
+                // A known type without that method in the workspace:
+                // fall through to the unknown-receiver handling, so a
+                // foreign type's methods still classify against std and
+                // non-ubiquitous names keep the assume-reachable fan-out.
+            }
+            // Unknown receiver: ubiquitous std names stay std...
+            if crate::symbols::is_ubiquitous_std_method(name) {
+                // ...unless exactly one workspace impl also defines the
+                // name *and* nothing in std plausibly does — the list is
+                // std-only names, so std it is.
+                return (Vec::new(), std_can_panic(name));
+            }
+            // ...everything else fans out to every workspace method with
+            // that name (trait-object / fn-pointer over-approximation).
+            if let Some(ids) = by_name.get(name.as_str()) {
+                let methods: Vec<usize> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| fns[id].self_type.is_some())
+                    .collect();
+                if !methods.is_empty() {
+                    return (methods, false);
+                }
+                return (ids.clone(), false);
+            }
+            (Vec::new(), std_can_panic(name))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::parse_file;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        CallGraph::build(files.iter().map(|(p, s)| parse_file(p, s)).collect())
+    }
+
+    fn id_of(g: &CallGraph, name: &str) -> usize {
+        g.fns
+            .iter()
+            .position(|f| f.display() == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    fn targets_of(g: &CallGraph, caller: &str, callee_name: &str) -> Vec<String> {
+        let c = id_of(g, caller);
+        g.edges[c]
+            .iter()
+            .filter(|e| g.fns[c].calls[e.call_idx].name() == callee_name)
+            .flat_map(|e| e.targets.iter().map(|&t| g.fns[t].display()))
+            .collect()
+    }
+
+    #[test]
+    fn plain_calls_prefer_same_file_then_crate() {
+        let g = graph(&[
+            (
+                "crates/core/src/a.rs",
+                "fn caller() { helper(); }\nfn helper() {}\n",
+            ),
+            ("crates/serve/src/b.rs", "fn helper() {}\n"),
+        ]);
+        assert_eq!(targets_of(&g, "caller", "helper"), ["helper"]);
+        let c = id_of(&g, "caller");
+        let t = g.edges[c][0].targets[0];
+        assert_eq!(g.fns[t].rel_path, "crates/core/src/a.rs");
+    }
+
+    #[test]
+    fn path_calls_resolve_through_use_aliases() {
+        let g = graph(&[
+            (
+                "crates/serve/src/a.rs",
+                "use mbp_core::pricing as p;\nfn caller() { p::price_at(1.0); }\n",
+            ),
+            (
+                "crates/core/src/pricing.rs",
+                "pub fn price_at(x: f64) -> f64 { x }\n",
+            ),
+        ]);
+        assert_eq!(targets_of(&g, "caller", "price_at"), ["price_at"]);
+    }
+
+    #[test]
+    fn self_calls_bind_to_the_impl_type() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            r#"
+struct T;
+impl T {
+    fn new() -> T { Self::setup() }
+    fn setup() -> T { T }
+}
+"#,
+        )]);
+        assert_eq!(targets_of(&g, "T::new", "setup"), ["T::setup"]);
+    }
+
+    #[test]
+    fn unknown_receiver_nonstd_name_fans_out_to_all_impls() {
+        let g = graph(&[
+            (
+                "crates/core/src/a.rs",
+                "struct A; impl A { fn settle(&self) {} }\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "struct B; impl B { fn settle(&self) {} }\nfn caller(x: &dyn Tr) { x.settle(); }\n",
+            ),
+        ]);
+        let mut t = targets_of(&g, "caller", "settle");
+        t.sort();
+        assert_eq!(t, ["A::settle", "B::settle"]);
+    }
+
+    #[test]
+    fn unknown_receiver_ubiquitous_name_resolves_to_std() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "struct A; impl A { fn len(&self) -> usize { 0 } }\nfn caller(v: &Foo) { v.len(); }\n",
+        )]);
+        assert_eq!(targets_of(&g, "caller", "len"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn std_panic_capability_table_classifies_split_at() {
+        // `split_at` is partial on every receiver; `insert` is curated
+        // *out* of the table (map inserts are total and dominate this
+        // workspace — see the PANICKY_STD doc comment); `push` is total.
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn caller(v: &mut Vec<u8>) { v.split_at(1); v.insert(0, 1); v.push(2); }\n",
+        )]);
+        let c = id_of(&g, "caller");
+        let by_name: Vec<(&str, bool)> = g.edges[c]
+            .iter()
+            .map(|e| (g.fns[c].calls[e.call_idx].name(), e.std_panic))
+            .collect();
+        assert!(by_name.contains(&("split_at", true)));
+        assert!(by_name.contains(&("insert", false)));
+        assert!(by_name.contains(&("push", false)));
+    }
+}

@@ -22,11 +22,19 @@ use std::collections::BTreeMap;
 #[derive(Debug, Default, Clone)]
 pub struct Baseline {
     pub budgets: BTreeMap<String, usize>,
+    /// `[graph]` finding budgets for the interprocedural rules. A graph
+    /// finding cannot be waived, so these are *finding* counts, not waiver
+    /// counts — and they stay pinned at 0.
+    pub graph_budgets: BTreeMap<String, usize>,
 }
 
 impl Baseline {
     pub fn budget(&self, rule: &str) -> usize {
         self.budgets.get(rule).copied().unwrap_or(0)
+    }
+
+    pub fn graph_budget(&self, rule: &str) -> usize {
+        self.graph_budgets.get(rule).copied().unwrap_or(0)
     }
 }
 
@@ -46,7 +54,7 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
         let Some((key, value)) = line.split_once('=') else {
             return Err(format!("lint.toml line {}: expected `key = value`", ln + 1));
         };
-        if section == "waivers" {
+        if section == "waivers" || section == "graph" {
             let key = key.trim();
             let value: usize = value.trim().parse().map_err(|_| {
                 format!(
@@ -54,13 +62,23 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
                     ln + 1
                 )
             })?;
-            if !crate::rules::RULE_IDS.contains(&key) {
-                return Err(format!(
-                    "lint.toml line {}: unknown rule id `{key}`",
-                    ln + 1
-                ));
+            if section == "waivers" {
+                if !crate::rules::RULE_IDS.contains(&key) {
+                    return Err(format!(
+                        "lint.toml line {}: unknown rule id `{key}`",
+                        ln + 1
+                    ));
+                }
+                baseline.budgets.insert(key.to_string(), value);
+            } else {
+                if !crate::rules::GRAPH_RULE_IDS.contains(&key) {
+                    return Err(format!(
+                        "lint.toml line {}: unknown graph rule id `{key}`",
+                        ln + 1
+                    ));
+                }
+                baseline.graph_budgets.insert(key.to_string(), value);
             }
-            baseline.budgets.insert(key.to_string(), value);
         }
     }
     Ok(baseline)
@@ -81,6 +99,17 @@ mod tests {
     #[test]
     fn rejects_unknown_rule() {
         assert!(parse("[waivers]\nbogus = 1\n").is_err());
+    }
+
+    #[test]
+    fn parses_graph_budgets_separately() {
+        let b = parse("[waivers]\npanic = 4\n[graph]\nreach-panic = 0\ntaint-det = 0\n").unwrap();
+        assert_eq!(b.budget("panic"), 4);
+        assert_eq!(b.graph_budget("reach-panic"), 0);
+        assert_eq!(b.graph_budget("lock-graph"), 0);
+        // Graph ids are not valid waiver keys and vice versa.
+        assert!(parse("[waivers]\nreach-panic = 1\n").is_err());
+        assert!(parse("[graph]\npanic = 1\n").is_err());
     }
 
     #[test]

@@ -28,9 +28,12 @@
 //! findings carry a budget of zero by policy — they must be fixed, never
 //! waived.
 
+pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -246,6 +249,97 @@ pub fn run_with_mode(
                 "rule `{rule}` uses {used} of {budget} budgeted waivers; shrink lint.toml to {used}"
             ));
         }
+    }
+    Ok(report)
+}
+
+/// Run the file-local lint **plus** the whole-workspace interprocedural
+/// pass (call-graph construction and the `reach-panic` / `taint-det` /
+/// `lock-graph` analyses — see [`dataflow`]).
+///
+/// When `graph_out` is given, writes `<graph_out>.json` and
+/// `<graph_out>.dot`: the call graph restricted to serve-reachable and
+/// tainted nodes, with every finding's witness chain. Findings are merged
+/// into the same report/exit-code contract as [`run`]; the `[graph]`
+/// budgets in `lint.toml` (pinned at 0) gate them.
+pub fn run_interprocedural(
+    root: &Path,
+    baseline_path: Option<&Path>,
+    graph_out: Option<&Path>,
+) -> io::Result<Report> {
+    let mut report = run_with_mode(root, baseline_path, ScopeMode::Repo)?;
+
+    let default_baseline = root.join("lint.toml");
+    let baseline_path = baseline_path.unwrap_or(&default_baseline);
+    let baseline = match fs::read_to_string(baseline_path) {
+        Ok(text) => config::parse(&text).map_err(io::Error::other)?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(e),
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    let mut models = Vec::new();
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let model = symbols::parse_file(&rel, &src);
+        for a in &model.annotations {
+            if !a.valid {
+                report.findings.push((
+                    rel.clone(),
+                    Finding {
+                        rule: "lint",
+                        line: a.line,
+                        col: a.col,
+                        msg: "malformed scope annotation: expected `LINT-SCOPE(<graph-rule>): <reason>` with a known graph rule id and a non-empty reason".to_string(),
+                    },
+                ));
+            }
+        }
+        models.push(model);
+    }
+
+    let graph = callgraph::CallGraph::build(models);
+    let result = dataflow::run_analyses(&graph);
+
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for gf in &result.findings {
+        *counts.entry(gf.rule).or_insert(0) += 1;
+    }
+    for rule in rules::GRAPH_RULE_IDS {
+        let found = counts.get(*rule).copied().unwrap_or(0);
+        let budget = baseline.graph_budget(rule);
+        if found > budget {
+            report.budget_errors.push(format!(
+                "graph budget exceeded for rule `{rule}`: {found} findings > {budget} allowed by lint.toml — fix along the witness chain, never waive"
+            ));
+        }
+    }
+    for gf in result.findings {
+        report.findings.push((
+            gf.rel_path,
+            Finding {
+                rule: gf.rule,
+                line: gf.line,
+                col: gf.col,
+                msg: gf.msg,
+            },
+        ));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.0, a.1.line, a.1.col).cmp(&(&b.0, b.1.line, b.1.col)));
+
+    if let Some(base) = graph_out {
+        let json = graph.to_json(&result.keep, &result.witnesses);
+        let dot = graph.to_dot(&result.keep, &result.flagged);
+        fs::write(base.with_extension("json"), json)?;
+        fs::write(base.with_extension("dot"), dot)?;
     }
     Ok(report)
 }

@@ -10,7 +10,7 @@ mbp-lint — zero-dependency static analysis for the mbp workspace
 
 USAGE:
     mbp-lint [--root DIR] [--baseline FILE] [--report FILE] [--quiet]
-             [--all-rules]
+             [--all-rules] [--interprocedural] [--graph-out BASE]
 
 OPTIONS:
     --root DIR        Workspace root to scan (default: current directory)
@@ -19,6 +19,10 @@ OPTIONS:
     --quiet           Suppress the summary line when clean
     --all-rules       Apply every rule to every file, ignoring the repo's
                       path-based scoping (used to check the fixtures)
+    --interprocedural Additionally build the workspace call graph and run
+                      the reach-panic / taint-det / lock-graph analyses
+    --graph-out BASE  With --interprocedural: write BASE.json and BASE.dot
+                      call-graph artifacts (witness chains included)
     -h, --help        Show this help
 ";
 
@@ -28,6 +32,8 @@ fn main() -> ExitCode {
     let mut report_path: Option<PathBuf> = None;
     let mut quiet = false;
     let mut mode = mbp_lint::ScopeMode::Repo;
+    let mut interprocedural = false;
+    let mut graph_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,6 +52,11 @@ fn main() -> ExitCode {
             },
             "--quiet" => quiet = true,
             "--all-rules" => mode = mbp_lint::ScopeMode::AllRules,
+            "--interprocedural" => interprocedural = true,
+            "--graph-out" => match args.next() {
+                Some(v) => graph_out = Some(PathBuf::from(v)),
+                None => return usage_error("--graph-out needs a value"),
+            },
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -54,7 +65,18 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match mbp_lint::run_with_mode(&root, baseline.as_deref(), mode) {
+    if graph_out.is_some() && !interprocedural {
+        return usage_error("--graph-out requires --interprocedural");
+    }
+    let result = if interprocedural {
+        if mode == mbp_lint::ScopeMode::AllRules {
+            return usage_error("--interprocedural is incompatible with --all-rules");
+        }
+        mbp_lint::run_interprocedural(&root, baseline.as_deref(), graph_out.as_deref())
+    } else {
+        mbp_lint::run_with_mode(&root, baseline.as_deref(), mode)
+    };
+    let report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("mbp-lint: error: {e}");

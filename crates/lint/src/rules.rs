@@ -29,7 +29,14 @@ use std::collections::BTreeSet;
 
 /// All rule ids a waiver may name, including the engine's own `lint` id
 /// used for malformed/unused waivers.
-pub const RULE_IDS: &[&str] = &["det", "panic", "float", "lock", "safety"];
+pub const RULE_IDS: &[&str] = &["det", "panic", "float", "lock", "safety", "cast"];
+
+/// Interprocedural (call-graph) rule ids. These are *not* waivable with
+/// `LINT-ALLOW` — a graph finding comes with a witness call chain and is
+/// either fixed or excluded by a `LINT-SCOPE` annotation the analysis
+/// itself verifies. Their `[graph]` budgets in `lint.toml` are pinned at
+/// zero.
+pub const GRAPH_RULE_IDS: &[&str] = &["reach-panic", "taint-det", "lock-graph"];
 
 /// A single finding, positioned at the offending token.
 #[derive(Debug, Clone)]
@@ -136,6 +143,17 @@ fn panic_scope(path: &str) -> bool {
     )
 }
 
+/// Decode paths where a truncating `as` cast can mis-frame a record: the
+/// wire codec and the WAL record codec. A length or offset silently
+/// wrapped by `as u32`/`as u16` frames the wrong number of bytes, which
+/// the recovery scan then reads as torn data.
+fn cast_scope(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/serve/src/wire.rs" | "crates/wal/src/record.rs"
+    )
+}
+
 /// Whole-file test context: integration tests, benches, examples.
 fn is_test_path(path: &str) -> bool {
     const MARKERS: &[&str] = &["tests/", "benches/", "examples/"];
@@ -167,7 +185,16 @@ pub fn analyze(rel_path: &str, src: &str, mode: ScopeMode) -> FileAnalysis {
         rule_det_maps(&code, &test_mask, &mut out.findings);
     }
     if all || panic_scope(rel_path) {
-        rule_panic(&code, &test_mask, &macro_mask, &mut out.findings);
+        let scope_mask = scope_off_regions(&toks, &code, "reach-panic");
+        let mask: Vec<bool> = test_mask
+            .iter()
+            .zip(scope_mask.iter())
+            .map(|(t, s)| *t || *s)
+            .collect();
+        rule_panic(&code, &mask, &macro_mask, &mut out.findings);
+    }
+    if all || cast_scope(rel_path) {
+        rule_cast(&code, &test_mask, &mut out.findings);
     }
     rule_float(&code, &test_mask, &mut out.findings);
     if all || code.iter().any(|t| t.is_ident("stripes")) {
@@ -338,6 +365,127 @@ fn macro_regions(code: &[&Tok]) -> Vec<bool> {
         }
     }
     mask
+}
+
+/// Mark code tokens covered by an item carrying a
+/// `// LINT-SCOPE(<rule>): <reason>` annotation directly above it.
+///
+/// Unlike `LINT-ALLOW`, a scope annotation is not a free pass: the
+/// interprocedural pass re-checks every `reach-panic`-scoped function and
+/// fails the run if it is actually reachable from a serve root. The
+/// file-local rule only steps aside here so the proof obligation moves to
+/// the call graph.
+fn scope_off_regions(toks: &[Tok], code: &[&Tok], rule: &str) -> Vec<bool> {
+    let n = code.len();
+    let mut mask = vec![false; n];
+    let marker = format!("LINT-SCOPE({rule})");
+    for t in toks {
+        if !t.is_comment() || t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        let Some(pos) = t.text.find(marker.as_str()) else {
+            continue;
+        };
+        let tail = &t.text[pos + marker.len()..];
+        let valid = tail
+            .trim_start()
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        if !valid {
+            continue;
+        }
+        // First code token past the annotation line starts the item.
+        let Some(start) = code.iter().position(|c| c.line > t.line) else {
+            continue;
+        };
+        // Skip attributes, then walk to the item body end.
+        let mut k = start;
+        while k + 1 < n && code[k].is_punct("#") && code[k + 1].is_punct("[") {
+            k = match_delim(code, k + 1) + 1;
+        }
+        let mut pd = 0i32;
+        let mut end = None;
+        while k < n {
+            let c = code[k];
+            if c.kind == TokKind::Punct {
+                match c.text.as_str() {
+                    "(" | "[" => pd += 1,
+                    ")" | "]" => pd -= 1,
+                    ";" if pd == 0 => {
+                        end = Some(k);
+                        break;
+                    }
+                    "{" if pd == 0 => {
+                        end = Some(match_delim(code, k));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let end = end.unwrap_or(n - 1);
+        for m in mask.iter_mut().take(end + 1).skip(start) {
+            *m = true;
+        }
+    }
+    mask
+}
+
+/// Integer types a cast *into* can silently truncate on a 64-bit target.
+/// `usize`/`u64`/`i64` and wider are excluded: the codec's native width is
+/// 64 bits, so widening casts cannot lose framing information. The source
+/// type is unknowable lexically — every cast into a narrow type is
+/// flagged and the bound, if any, goes in the waiver reason.
+const NARROW_CAST_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn rule_cast(code: &[&Tok], test: &[bool], out: &mut Vec<Finding>) {
+    for i in 0..code.len() {
+        if test[i] {
+            continue;
+        }
+        let t = code[i];
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = code.get(i + 1) else {
+            continue;
+        };
+        if target.kind != TokKind::Ident || !NARROW_CAST_TARGETS.contains(&target.text.as_str()) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "cast",
+            line: t.line,
+            col: t.col,
+            msg: format!(
+                "truncating `as {}` cast in a decode path — a wrapped length/offset mis-frames the record; use `try_from` with a typed error, or waive with the range proof",
+                target.text
+            ),
+        });
+    }
+}
+
+// -- pub(crate) accessors for the interprocedural layer ---------------------
+//
+// `symbols.rs` parses the same token stream and must agree token-for-token
+// with the rule engine on what counts as test code, macro arguments, and
+// delimiter matching — so it reuses these instead of reimplementing them.
+
+pub(crate) fn is_test_path_pub(path: &str) -> bool {
+    is_test_path(path)
+}
+
+pub(crate) fn match_delim_pub(code: &[&Tok], open: usize) -> usize {
+    match_delim(code, open)
+}
+
+pub(crate) fn test_regions_pub(code: &[&Tok], whole_file: bool) -> Vec<bool> {
+    test_regions(code, whole_file)
+}
+
+pub(crate) fn macro_regions_pub(code: &[&Tok]) -> Vec<bool> {
+    macro_regions(code)
 }
 
 fn rule_det_time(code: &[&Tok], test: &[bool], out: &mut Vec<Finding>) {

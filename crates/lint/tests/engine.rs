@@ -97,6 +97,19 @@ fn branchless_fixture_is_clean_without_waivers() {
 }
 
 #[test]
+fn cast_fixture_flags_narrowing_and_skips_widening_and_waived() {
+    let rep = lint_fixture("cast");
+    assert_eq!(
+        triples(&rep),
+        vec![
+            ("cast", 4, 31), // payload_len as u32
+            ("cast", 9, 15), // msg.len() as u16
+        ]
+    );
+    assert_eq!(rep.waivers_used.get("cast"), Some(&1));
+}
+
+#[test]
 fn safety_fixture_flags_only_the_undocumented_unsafe() {
     let rep = lint_fixture("safety");
     assert_eq!(triples(&rep), vec![("safety", 4, 5)]);

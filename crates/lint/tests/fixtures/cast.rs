@@ -1,0 +1,19 @@
+// Fixture for the `cast` rule: truncating casts in decode paths.
+
+fn frame(payload_len: usize, out: &mut Vec<u8>) {
+    let wrapped = payload_len as u32;
+    out.extend_from_slice(&wrapped.to_le_bytes());
+}
+
+fn body_len(msg: &str) -> u16 {
+    msg.len() as u16
+}
+
+fn widening_is_fine(n: u16, x: u32) -> (usize, u64, f64) {
+    (n as usize, x as u64, x as f64)
+}
+
+fn waived(payload_len: usize) -> u32 {
+    // LINT-ALLOW(cast): callers cap payload_len at MAX_PAYLOAD
+    payload_len as u32
+}

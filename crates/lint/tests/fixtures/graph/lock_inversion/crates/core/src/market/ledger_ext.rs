@@ -1,0 +1,20 @@
+// Fixture: stripe order inversion that only exists across a call —
+// each function alone acquires a single stripe and is locally clean.
+use std::sync::Mutex;
+
+pub struct Ledger {
+    stripes: Vec<Mutex<Vec<f64>>>,
+}
+
+impl Ledger {
+    pub fn settle(&self) {
+        let g2 = self.stripes[2].lock();
+        self.tail();
+        drop(g2);
+    }
+
+    fn tail(&self) {
+        let g1 = self.stripes[1].lock();
+        drop(g1);
+    }
+}

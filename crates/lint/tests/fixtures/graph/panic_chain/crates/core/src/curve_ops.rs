@@ -1,0 +1,8 @@
+// Fixture: the transitive may-panic chain the graph pass must prove out.
+pub fn price_helper(q: usize, table: &[f64]) -> f64 {
+    deep_index(q, table) * 2.0
+}
+
+fn deep_index(q: usize, table: &[f64]) -> f64 {
+    table[q]
+}

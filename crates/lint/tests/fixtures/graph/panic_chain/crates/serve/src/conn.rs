@@ -1,0 +1,4 @@
+// Fixture: serve-root dispatch whose panic is two calls away.
+pub fn dispatch(q: usize, table: &[f64]) -> f64 {
+    price_helper(q, table)
+}

@@ -1,0 +1,4 @@
+// Fixture: det-scope entry point tainted through a non-det callee.
+pub fn adjusted_price(x: f64) -> f64 {
+    x + wall_jitter()
+}

@@ -1,0 +1,6 @@
+// Fixture: a wall-clock read outside the det crates (and outside the
+// obs barrier) feeding a deterministic-scope function.
+pub fn wall_jitter() -> f64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs_f64()
+}

@@ -122,7 +122,11 @@ impl Histogram {
         if !v.is_finite() || v < 0.0 {
             return;
         }
-        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        // `bucket_index` clamps into range; `get` keeps the accessor total
+        // so a future bucket-layout change cannot abort a serve thread.
+        if let Some(slot) = self.counts.get(bucket_index(v)) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         cas_f64(&self.sum_bits, |s| s + v);
         cas_f64(&self.min_bits, |m| m.min(v));

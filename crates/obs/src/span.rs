@@ -26,7 +26,13 @@ pub fn span(name: &'static str) -> Span {
     if !crate::is_enabled() {
         return Span { name, start: None };
     }
-    STACK.with(|s| s.borrow_mut().push(name));
+    // `try_borrow_mut` fails only on re-entry (a span opened from inside
+    // the drop path while the stack is borrowed); return an inert guard
+    // then — instrumentation must never abort the thread it observes.
+    let pushed = STACK.with(|s| s.try_borrow_mut().map(|mut stack| stack.push(name)).is_ok());
+    if !pushed {
+        return Span { name, start: None };
+    }
     Span {
         name,
         start: Some(Instant::now()),
@@ -46,11 +52,15 @@ impl Drop for Span {
             return;
         };
         let secs = start.elapsed().as_secs_f64();
-        let path = STACK.with(|s| {
-            let mut stack = s.borrow_mut();
-            let path = stack.join(">");
-            stack.pop();
-            path
+        // A `start: Some` span always pushed, so the pop below stays
+        // balanced; the fallible borrow mirrors `span()` for re-entrancy.
+        let path = STACK.with(|s| match s.try_borrow_mut() {
+            Ok(mut stack) => {
+                let path = stack.join(">");
+                stack.pop();
+                path
+            }
+            Err(_) => String::new(),
         });
         // observe()/event() re-check the enabled flag, so disabling midway
         // through a span only skips the record — the stack stays balanced.

@@ -238,6 +238,12 @@ fn phase_name_ids() -> &'static [u32; 5] {
     IDS.get_or_init(|| Phase::ALL.map(|p| intern(p.as_str())))
 }
 
+/// Interned name id of `p` (0, the unknown-name id, if the table and the
+/// enum ever disagree in length).
+fn phase_name_id(p: Phase) -> u32 {
+    phase_name_ids().get(p.index()).copied().unwrap_or(0)
+}
+
 /// Pre-resolved histogram handles for one `(listing, mechanism)` pair.
 struct Series {
     listing_id: u32,
@@ -258,7 +264,12 @@ fn resolve_series(listing: &str, mechanism: &str) -> Rc<Series> {
     let key = pack(listing_id, mech_id);
     let epoch = RESET_EPOCH.load(Ordering::Relaxed);
     SERIES_CACHE.with(|cache| {
-        let mut cache = cache.borrow_mut();
+        // Re-entrant resolve (a histogram callback opening its own span)
+        // would hit a live borrow; skip the cache rather than abort — the
+        // handles are merely memoized, correctness never depends on them.
+        let Ok(mut cache) = cache.try_borrow_mut() else {
+            return build_series(listing_id, mech_id);
+        };
         if cache.0 != epoch {
             // The registry was reset; cached Arcs point at detached
             // histograms. Drop them and re-resolve lazily.
@@ -268,24 +279,28 @@ fn resolve_series(listing: &str, mechanism: &str) -> Rc<Series> {
         if let Some(s) = cache.1.get(&key) {
             return Rc::clone(s);
         }
-        let l = intern_name(listing_id);
-        let m = intern_name(mech_id);
-        let total =
-            registry::labeled_histogram(REQUEST_METRIC, &[("listing", &l), ("mechanism", &m)]);
-        let phases = Phase::ALL.map(|p| {
-            registry::labeled_histogram(
-                PHASE_METRIC,
-                &[("listing", &l), ("mechanism", &m), ("phase", p.as_str())],
-            )
-        });
-        let s = Rc::new(Series {
-            listing_id,
-            mech_id,
-            total,
-            phases,
-        });
+        let s = build_series(listing_id, mech_id);
         cache.1.insert(key, Rc::clone(&s));
         s
+    })
+}
+
+/// Resolves the `(listing, mechanism)` histogram handles uncached.
+fn build_series(listing_id: u32, mech_id: u32) -> Rc<Series> {
+    let l = intern_name(listing_id);
+    let m = intern_name(mech_id);
+    let total = registry::labeled_histogram(REQUEST_METRIC, &[("listing", &l), ("mechanism", &m)]);
+    let phases = Phase::ALL.map(|p| {
+        registry::labeled_histogram(
+            PHASE_METRIC,
+            &[("listing", &l), ("mechanism", &m), ("phase", p.as_str())],
+        )
+    });
+    Rc::new(Series {
+        listing_id,
+        mech_id,
+        total,
+        phases,
     })
 }
 
@@ -328,7 +343,7 @@ impl TraceRoot {
                         trace: root.trace,
                         span,
                         parent: prev as u32,
-                        name_id: phase_name_ids()[p.index()],
+                        name_id: phase_name_id(p),
                         series_phase: Some((Rc::clone(&root.series), p.index())),
                         start: Instant::now(),
                     }),
@@ -484,7 +499,7 @@ pub fn phase_for(p: Phase, listing: &str, mechanism: &str) -> PhaseGuard {
         return PhaseGuard { inner: None };
     }
     let series = resolve_series(listing, mechanism);
-    open_phase(phase_name_ids()[p.index()], Some((series, p.index())))
+    open_phase(phase_name_id(p), Some((series, p.index())))
 }
 
 // --- canonical trees ---------------------------------------------------

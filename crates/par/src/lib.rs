@@ -183,6 +183,9 @@ struct ScopeShared {
     pending: Mutex<usize>,
     done: Condvar,
     panicked: AtomicBool,
+    /// First captured task panic payload, re-raised by [`scope`] on the
+    /// caller thread so the original message survives.
+    payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 /// Handle passed to the closure of [`scope`]; lets it spawn tasks that may
@@ -213,8 +216,12 @@ impl<'env> Scope<'env> {
         let token = hook.map(|h| (h.capture)());
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
             let prev = hook.zip(token).map(|(h, t)| (h.enter)(t));
-            if panic::catch_unwind(AssertUnwindSafe(f)).is_err() {
+            if let Err(p) = panic::catch_unwind(AssertUnwindSafe(f)) {
                 shared.panicked.store(true, Ordering::SeqCst);
+                let mut slot = shared.payload.lock().unwrap_or_else(|e| e.into_inner());
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
             }
             if let Some((h, p)) = hook.zip(prev) {
                 (h.exit)(p);
@@ -255,6 +262,7 @@ pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
         pending: Mutex::new(0),
         done: Condvar::new(),
         panicked: AtomicBool::new(false),
+        payload: Mutex::new(None),
     });
     let scope = Scope {
         shared: Arc::clone(&shared),
@@ -268,7 +276,16 @@ pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
         f(&scope)
     };
     if shared.panicked.load(Ordering::SeqCst) {
-        panic!("mbp-par: a task spawned in this scope panicked");
+        // Re-raise the task's own payload on the caller thread. This
+        // *propagates* an existing unwind (the origin site carries the
+        // proof obligation); `scope` itself never originates a panic.
+        let p = shared
+            .payload
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .unwrap_or_else(|| Box::new("mbp-par: a task spawned in this scope panicked"));
+        panic::resume_unwind(p);
     }
     result
 }

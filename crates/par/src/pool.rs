@@ -45,13 +45,16 @@ impl ThreadPool {
             }),
             available: Condvar::new(),
         });
+        // A failed spawn (thread exhaustion) degrades to fewer workers
+        // instead of aborting: callers always participate in regions, so
+        // even zero workers keeps every region correct, just serial.
         let workers = (0..workers)
-            .map(|i| {
+            .filter_map(|i| {
                 let state = Arc::clone(&state);
                 thread::Builder::new()
                     .name(format!("mbp-par-{i}"))
                     .spawn(move || worker_loop(&state))
-                    .expect("failed to spawn mbp-par worker thread")
+                    .ok()
             })
             .collect();
         ThreadPool { state, workers }

@@ -97,6 +97,7 @@ pub enum ErrorCode {
 impl ErrorCode {
     /// Wire byte for this code.
     pub fn as_u8(self) -> u8 {
+        // LINT-ALLOW(cast): discriminants are 1..=8, all representable in u8
         self as u8
     }
 
@@ -341,11 +342,16 @@ impl<'a> Reader<'a> {
 
 /// Writes the 12-byte header for a frame.
 fn put_header(out: &mut Vec<u8>, frame_type: u8, request_id: u32, payload_len: usize) {
+    debug_assert!(
+        payload_len <= MAX_PAYLOAD,
+        "encoder framed an oversized payload"
+    );
     out.push(MAGIC0);
     out.push(MAGIC1);
     out.push(VERSION);
     out.push(frame_type);
     out.extend_from_slice(&request_id.to_le_bytes());
+    // LINT-ALLOW(cast): every encoder frames at most MAX_PAYLOAD (64 KiB) bytes
     out.extend_from_slice(&(payload_len as u32).to_le_bytes());
 }
 
@@ -454,10 +460,16 @@ pub fn encode_request(out: &mut Vec<u8>, request_id: u32, request: &Request) {
             encode_purchase(out, frame_type::BUY, request_id, *kind, *request);
         }
         Request::Publish { kind, points } => {
-            put_header(out, frame_type::PUBLISH, request_id, 5 + 16 * points.len());
+            // Mirror the decoder's bound: a count past MAX_PUBLISH_POINTS
+            // would be rejected anyway, and an unbounded count would wrap
+            // the u32 length field in the header and desync every frame
+            // encoded after this one.
+            let n = points.len().min(MAX_PUBLISH_POINTS);
+            put_header(out, frame_type::PUBLISH, request_id, 5 + 16 * n);
             out.push(kind_to_u8(*kind));
-            out.extend_from_slice(&(points.len() as u32).to_le_bytes());
-            for (knot, price) in points {
+            // LINT-ALLOW(cast): n <= MAX_PUBLISH_POINTS (2048) by the cap above
+            out.extend_from_slice(&(n as u32).to_le_bytes());
+            for (knot, price) in points.iter().take(n) {
                 out.extend_from_slice(&knot.to_bits().to_le_bytes());
                 out.extend_from_slice(&price.to_bits().to_le_bytes());
             }
@@ -512,6 +524,7 @@ pub fn encode_buy_ok(
     out.extend_from_slice(&ncp.to_bits().to_le_bytes());
     out.extend_from_slice(&price.to_bits().to_le_bytes());
     out.extend_from_slice(&expected.to_bits().to_le_bytes());
+    // LINT-ALLOW(cast): weights is a model coefficient vector, orders of magnitude below u32::MAX entries; a wrap needs a 4 GiB vector
     out.extend_from_slice(&(weights.len() as u32).to_le_bytes());
     for w in weights {
         out.extend_from_slice(&w.to_bits().to_le_bytes());
@@ -529,6 +542,7 @@ pub fn encode_error(out: &mut Vec<u8>, request_id: u32, code: ErrorCode, msg: &s
     let body = msg.get(..cut).unwrap_or("");
     put_header(out, frame_type::ERROR, request_id, 3 + body.len());
     out.push(code.as_u8());
+    // LINT-ALLOW(cast): body.len() <= cut <= u16::MAX by the min() above
     out.extend_from_slice(&(body.len() as u16).to_le_bytes());
     out.extend_from_slice(body.as_bytes());
 }

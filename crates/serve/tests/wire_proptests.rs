@@ -251,3 +251,41 @@ fn digest_is_a_pure_function_of_the_byte_stream() {
     assert_eq!(a, b);
     assert_ne!(digest_bytes(DIGEST_SEED, b"hello worle"), b);
 }
+
+/// Regression: `encode_request` used to write `points.len() as u32` and
+/// every point uncapped. A list longer than `MAX_PUBLISH_POINTS` then
+/// produced a header whose `payload_len` no longer matched the bytes that
+/// followed (and past `u32::MAX / 16` points would wrap the length field
+/// outright), desyncing every frame encoded after it on the same stream.
+/// The encoder now mirrors the decoder's cap.
+#[test]
+fn oversized_publish_encode_is_capped_and_does_not_desync_the_stream() {
+    let kind = wire::kind_from_u8(0).expect("kind in range");
+    let points: Vec<(f64, f64)> = (0..MAX_PUBLISH_POINTS + 37)
+        .map(|i| (1.0 + i as f64, 2.0 + i as f64))
+        .collect();
+    let mut bytes = Vec::new();
+    encode_request(&mut bytes, 9, &Request::Publish { kind, points });
+    encode_request(&mut bytes, 10, &Request::Ping);
+
+    let header = decode_header(&bytes).unwrap().unwrap();
+    assert_eq!(
+        HEADER_LEN + header.payload_len as usize + HEADER_LEN,
+        bytes.len()
+    );
+    let decoded = decode_request(
+        &header,
+        &bytes[HEADER_LEN..HEADER_LEN + header.payload_len as usize],
+    )
+    .expect("capped publish decodes");
+    match decoded {
+        Request::Publish { points, .. } => assert_eq!(points.len(), MAX_PUBLISH_POINTS),
+        other => panic!("expected publish frame, got {other:?}"),
+    }
+
+    // The next frame on the stream still parses: no desync.
+    let rest = &bytes[HEADER_LEN + header.payload_len as usize..];
+    let next = decode_header(rest).unwrap().unwrap();
+    assert_eq!(next.request_id, 10);
+    assert_eq!(decode_request(&next, &[]).unwrap(), Request::Ping);
+}

@@ -135,6 +135,7 @@ pub fn append_record(out: &mut Vec<u8>, event: &WalEvent) -> usize {
         }
         WalEvent::Publish { kind, grid, prices } => {
             out.push(kind_to_u8(*kind));
+            // LINT-ALLOW(cast): n <= MAX_PUBLISH_KNOTS (2048) by the min chain
             let n = grid.len().min(prices.len()).min(MAX_PUBLISH_KNOTS) as u32;
             out.extend_from_slice(&n.to_le_bytes());
             for (x, p) in grid.iter().zip(prices.iter()).take(n as usize) {
@@ -156,6 +157,7 @@ pub fn append_record(out: &mut Vec<u8>, event: &WalEvent) -> usize {
             out.extend_from_slice(&compacted_records.to_le_bytes());
         }
     }
+    // LINT-ALLOW(cast): the largest record payload is 5 + 16 * MAX_PUBLISH_KNOTS bytes, far below u32::MAX
     let len = (out.len() - payload_start) as u32;
     let payload_digest = digest_bytes(digest_bytes(DIGEST_SEED, &[ty]), tail(out, payload_start));
     patch(out, start + 4, &len.to_le_bytes());
